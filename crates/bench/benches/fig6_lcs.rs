@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 6: sparse LCS, parallel cordon vs sequential
+//! Hunt–Szymanski, swept over the LCS length `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use pardp_lcs::{parallel_sparse_lcs, sequential_sparse_lcs, MatchPair};
+use pardp_workloads::lcs_pairs_with;
+
+fn bench_fig6(c: &mut Criterion) {
+    let l = 200_000usize;
+    let mut group = c.benchmark_group("fig6_sparse_lcs");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &k in &[100usize, 10_000, 200_000] {
+        let pairs: Vec<MatchPair> = lcs_pairs_with(l, k, 42)
+            .into_iter()
+            .map(|(i, j)| MatchPair { i, j })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("parallel_cordon", k), &pairs, |b, p| {
+            b.iter(|| parallel_sparse_lcs(p))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_hs", k), &pairs, |b, p| {
+            b.iter(|| sequential_sparse_lcs(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

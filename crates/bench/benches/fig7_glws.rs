@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 7: convex GLWS (post office), parallel cordon
+//! (Alg. 1) vs sequential Galil–Park vs the naive quadratic DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use pardp_glws::{naive_glws, parallel_convex_glws, sequential_convex_glws, PostOfficeProblem};
+use pardp_workloads::post_office_instance;
+
+fn bench_fig7(c: &mut Criterion) {
+    let n = 200_000usize;
+    let mut group = c.benchmark_group("fig7_convex_glws");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &k in &[10usize, 1_000, 50_000] {
+        let inst = post_office_instance(n, k, 7);
+        let problem = PostOfficeProblem::new(inst.coords, inst.open_cost);
+        group.bench_with_input(BenchmarkId::new("parallel_cordon", k), &problem, |b, p| {
+            b.iter(|| parallel_convex_glws(p))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_galil_park", k), &problem, |b, p| {
+            b.iter(|| sequential_convex_glws(p))
+        });
+    }
+    // The quadratic baseline only at a size where it terminates quickly.
+    let small = post_office_instance(4_000, 50, 7);
+    let problem = PostOfficeProblem::new(small.coords, small.open_cost);
+    group.bench_function("naive_quadratic_n4000", |b| b.iter(|| naive_glws(&problem)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the GAP edit distance (Theorem 5.2's recurrence):
+//! parallel frontier evaluation vs the optimized sequential Γ_gap vs the
+//! cubic naive recurrence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use pardp_gap::{convex_gap_instance, naive_gap, parallel_gap, sequential_gap};
+use pardp_workloads::gap_strings;
+
+fn bench_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[200usize, 600] {
+        let (a, b) = gap_strings(n, n - n / 10, 4, 5);
+        let inst = convex_gap_instance(&a, &b, 20, 1, 1);
+        group.bench_with_input(BenchmarkId::new("parallel_frontier", n), &inst, |bn, i| {
+            bn.iter(|| parallel_gap(i))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_glws_rows", n), &inst, |bn, i| {
+            bn.iter(|| sequential_gap(i))
+        });
+        if n <= 200 {
+            group.bench_with_input(BenchmarkId::new("naive_cubic", n), &inst, |bn, i| {
+                bn.iter(|| naive_gap(i))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench for the remaining Sec. 5 problems: k-GLWS (Sec. 5.4),
+//! OBST with Knuth's speedup (Sec. 5.5) and Tree-GLWS (Sec. 5.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use pardp_glws::{naive_kglws, parallel_kglws, PostOfficeProblem};
+use pardp_obst::{knuth_obst, naive_obst, parallel_obst};
+use pardp_treedp::{naive_tree_glws, parallel_tree_glws, TreeGlwsInstance};
+use pardp_workloads::{positive_weights, post_office_instance, random_tree, tree_edge_lengths};
+
+fn bench_kglws(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kglws");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let inst = post_office_instance(20_000, 64, 3);
+    let p = PostOfficeProblem::new(inst.coords, 0);
+    for &k in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("parallel_dc", k), &k, |b, &k| {
+            b.iter(|| parallel_kglws(&p, k))
+        });
+    }
+    let small = post_office_instance(1_500, 16, 3);
+    let ps = PostOfficeProblem::new(small.coords, 0);
+    group.bench_function("naive_k16_n1500", |b| b.iter(|| naive_kglws(&ps, 16)));
+    group.finish();
+}
+
+fn bench_obst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obst");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let w = positive_weights(1_200, 1 << 16, 9);
+    group.bench_function("knuth_n1200", |b| b.iter(|| knuth_obst(&w)));
+    group.bench_function("parallel_diagonal_n1200", |b| b.iter(|| parallel_obst(&w)));
+    let small = positive_weights(300, 1 << 16, 9);
+    group.bench_function("naive_cubic_n300", |b| b.iter(|| naive_obst(&small)));
+    group.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_glws");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &bias in &[20u32, 90] {
+        let parent = random_tree(10_000, bias, 4);
+        let lens = tree_edge_lengths(10_000, 4, 4);
+        let inst = TreeGlwsInstance::new(parent, &lens, 0, |du, dv| {
+            let len = (dv - du) as i64;
+            25 + len * len
+        }, |d, _| d);
+        group.bench_with_input(BenchmarkId::new("parallel_levels", bias), &inst, |b, i| {
+            b.iter(|| parallel_tree_glws(i))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_scan", bias), &inst, |b, i| {
+            b.iter(|| naive_tree_glws(i))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kglws, bench_obst, bench_tree);
+criterion_main!(benches);

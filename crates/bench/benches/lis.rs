@@ -1,0 +1,28 @@
+//! Criterion bench for Theorem 3.1: LIS, parallel cordon/tournament vs the
+//! sequential O(n log k) algorithm, swept over the LIS length `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use pardp_lis::{parallel_lis, sequential_lis};
+use pardp_workloads::lis_with_length;
+
+fn bench_lis(c: &mut Criterion) {
+    let n = 200_000usize;
+    let mut group = c.benchmark_group("lis");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &k in &[10usize, 1_000, 100_000] {
+        let a = lis_with_length(n, k, 11);
+        group.bench_with_input(BenchmarkId::new("parallel_cordon", k), &a, |b, a| {
+            b.iter(|| parallel_lis(a))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_fenwick", k), &a, |b, a| {
+            b.iter(|| sequential_lis(a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lis);
+criterion_main!(benches);

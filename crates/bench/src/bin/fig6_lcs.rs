@@ -1,0 +1,28 @@
+//! Regenerates Figure 6: parallel sparse LCS running time vs LCS length `k`.
+//!
+//! Usage: `cargo run --release -p pardp-bench --bin fig6_lcs [-- --l <pairs>] [--paper-scale]`
+//! Defaults are scaled down from the paper's `L = 10^8 / 10^9` so the sweep
+//! finishes quickly on a laptop; pass `--paper-scale` (and a lot of patience
+//! and memory) for the original sizes.
+
+use pardp_bench::{k_sweep, print_fig6, run_fig6};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    let l = parse_flag(&args, "--l").unwrap_or(if paper_scale { 100_000_000 } else { 1_000_000 });
+    let ls = [l, l.saturating_mul(10).min(if paper_scale { 1_000_000_000 } else { 10_000_000 })];
+    for &l in &ls {
+        let ks = k_sweep(l, 12);
+        let rows = run_fig6(l, &ks, 42);
+        print_fig6(&rows);
+        println!();
+    }
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

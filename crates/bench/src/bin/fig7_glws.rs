@@ -1,0 +1,26 @@
+//! Regenerates Figure 7: parallel convex GLWS (post office) running time vs
+//! the number of post offices `k`.
+//!
+//! Usage: `cargo run --release -p pardp-bench --bin fig7_glws [-- --n <villages>] [--paper-scale]`
+
+use pardp_bench::{k_sweep, print_fig7, run_fig7};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    let n = parse_flag(&args, "--n").unwrap_or(if paper_scale { 100_000_000 } else { 1_000_000 });
+    let ns = [n, n.saturating_mul(10).min(if paper_scale { 1_000_000_000 } else { 10_000_000 })];
+    for &n in &ns {
+        let ks = k_sweep(100_000.min(n), 10);
+        let rows = run_fig7(n, &ks, 7);
+        print_fig7(&rows);
+        println!();
+    }
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,42 @@
+//! Reports the Sec. 1 / Sec. 6 headline numbers: parallel-vs-sequential
+//! behaviour of LCS and GLWS as the DP-DAG depth varies, including the
+//! work-ratio (parallel work / sequential work) used to validate
+//! work-efficiency on machines with few cores.
+
+use pardp_bench::{run_fig6, run_fig7};
+
+fn main() {
+    let l = 1_000_000usize;
+    let n = 1_000_000usize;
+    println!("== Sparse LCS (L = {l}) ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12} {:>12}",
+        "k", "par/seq time", "1thr/seq time", "work ratio", "rounds"
+    );
+    for row in run_fig6(l, &[100, 10_000, 1_000_000], 3) {
+        println!(
+            "{:>10} {:>14.3} {:>14.3} {:>12.3} {:>12}",
+            row.k,
+            row.parallel_secs / row.sequential_secs,
+            row.parallel_1t_secs / row.sequential_secs,
+            row.parallel_work as f64 / row.sequential_work as f64,
+            row.rounds
+        );
+    }
+    println!();
+    println!("== Convex GLWS / post office (n = {n}) ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12} {:>12}",
+        "k", "par/seq time", "1thr/seq time", "work ratio", "rounds"
+    );
+    for row in run_fig7(n, &[10, 1_000, 100_000], 3) {
+        println!(
+            "{:>10} {:>14.3} {:>14.3} {:>12.3} {:>12}",
+            row.k,
+            row.parallel_secs / row.sequential_secs,
+            row.parallel_1t_secs / row.sequential_secs,
+            row.parallel_work as f64 / row.sequential_work as f64,
+            row.rounds
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Benchmark harness shared by the criterion benches and the report binaries.
+//!
+//! Every evaluation figure of the paper has a `run_*` function here that
+//! produces one row per swept parameter value, reporting wall-clock times for
+//! the series the paper plots ("Ours", "Ours (1 thread)", "Sequential") plus
+//! the work/round counters that validate the asymptotic claims on machines
+//! where wall-clock speedup is not observable (see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pardp_glws::{parallel_convex_glws, sequential_convex_glws, GlwsProblem, PostOfficeProblem};
+use pardp_lcs::{parallel_sparse_lcs, sequential_sparse_lcs, MatchPair};
+use pardp_parutils::with_threads;
+use pardp_workloads as workloads;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Measure the wall-clock seconds of one invocation of `f`.
+pub fn time_secs<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: parallel sparse LCS, running time vs LCS length k.
+// ---------------------------------------------------------------------------
+
+/// One row of the Fig. 6 table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Row {
+    /// Number of matching pairs `L`.
+    pub l: usize,
+    /// LCS length `k` of the instance.
+    pub k: usize,
+    /// Parallel running time on the default thread pool ("Ours").
+    pub parallel_secs: f64,
+    /// Parallel algorithm restricted to one thread ("Ours (1 thread)").
+    pub parallel_1t_secs: f64,
+    /// Sequential sparse LCS (Hunt–Szymanski) baseline.
+    pub sequential_secs: f64,
+    /// Rounds executed by the cordon algorithm (equals `k`).
+    pub rounds: u64,
+    /// Work proxy of the parallel run (edges + probes).
+    pub parallel_work: u64,
+    /// Work proxy of the sequential run.
+    pub sequential_work: u64,
+}
+
+/// Run the Fig. 6 sweep: sparse LCS with `l` matching pairs and LCS lengths
+/// `ks`, timing the parallel algorithm on the ambient pool, on one thread,
+/// and the sequential baseline.
+pub fn run_fig6(l: usize, ks: &[usize], seed: u64) -> Vec<Fig6Row> {
+    ks.iter()
+        .map(|&k| {
+            let raw = workloads::lcs_pairs_with(l, k.min(l), seed);
+            let pairs: Vec<MatchPair> = raw
+                .into_iter()
+                .map(|(i, j)| MatchPair { i, j })
+                .collect();
+            let (parallel_secs, par) = time_secs(|| parallel_sparse_lcs(&pairs));
+            let (parallel_1t_secs, _) =
+                time_secs(|| with_threads(1, || parallel_sparse_lcs(&pairs)));
+            let (sequential_secs, seq) = time_secs(|| sequential_sparse_lcs(&pairs));
+            assert_eq!(par.length, seq.length, "parallel and sequential disagree");
+            Fig6Row {
+                l,
+                k: par.length as usize,
+                parallel_secs,
+                parallel_1t_secs,
+                sequential_secs,
+                rounds: par.metrics.rounds,
+                parallel_work: par.metrics.work_proxy() + par.metrics.edges_relaxed,
+                sequential_work: seq.metrics.work_proxy(),
+            }
+        })
+        .collect()
+}
+
+/// Pretty-print Fig. 6 rows in the layout of the paper's figure.
+pub fn print_fig6(rows: &[Fig6Row]) {
+    println!("# Figure 6 — parallel sparse LCS, running time (s) vs LCS length k");
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>12} {:>10}",
+        "L", "k", "Ours", "Ours(1thr)", "Sequential", "rounds"
+    );
+    for r in rows {
+        println!(
+            "{:>12} {:>12} {:>12.4} {:>14.4} {:>12.4} {:>10}",
+            r.l, r.k, r.parallel_secs, r.parallel_1t_secs, r.sequential_secs, r.rounds
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: parallel convex GLWS (post office), running time vs k.
+// ---------------------------------------------------------------------------
+
+/// One row of the Fig. 7 table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Row {
+    /// Number of villages `n`.
+    pub n: usize,
+    /// Number of post offices in the optimal solution.
+    pub k: usize,
+    /// Parallel running time ("Ours").
+    pub parallel_secs: f64,
+    /// Parallel algorithm on one thread ("Ours (1 thread)").
+    pub parallel_1t_secs: f64,
+    /// Sequential Galil–Park baseline ("Sequential").
+    pub sequential_secs: f64,
+    /// Cordon rounds (equals `k`, the perfect depth — Lemma 4.5).
+    pub rounds: u64,
+    /// Work proxy of the parallel run.
+    pub parallel_work: u64,
+    /// Work proxy of the sequential run.
+    pub sequential_work: u64,
+}
+
+/// Run the Fig. 7 sweep: post-office GLWS with `n` villages and the requested
+/// numbers of clusters.
+pub fn run_fig7(n: usize, ks: &[usize], seed: u64) -> Vec<Fig7Row> {
+    ks.iter()
+        .map(|&k| {
+            let inst = workloads::post_office_instance(n, k.min(n), seed);
+            let problem = PostOfficeProblem::new(inst.coords.clone(), inst.open_cost);
+            let (parallel_secs, par) = time_secs(|| parallel_convex_glws(&problem));
+            let (parallel_1t_secs, _) =
+                time_secs(|| with_threads(1, || parallel_convex_glws(&problem)));
+            let (sequential_secs, seq) = time_secs(|| sequential_convex_glws(&problem));
+            assert_eq!(par.d, seq.d, "parallel and sequential disagree");
+            Fig7Row {
+                n,
+                k: par.decision_depth(problem.n()),
+                parallel_secs,
+                parallel_1t_secs,
+                sequential_secs,
+                rounds: par.metrics.rounds,
+                parallel_work: par.metrics.work_proxy(),
+                sequential_work: seq.metrics.work_proxy(),
+            }
+        })
+        .collect()
+}
+
+/// Pretty-print Fig. 7 rows in the layout of the paper's figure.
+pub fn print_fig7(rows: &[Fig7Row]) {
+    println!("# Figure 7 — parallel convex GLWS (post office), running time (s) vs k");
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>12} {:>10} {:>14} {:>14}",
+        "n", "k", "Ours", "Ours(1thr)", "Sequential", "rounds", "par work", "seq work"
+    );
+    for r in rows {
+        println!(
+            "{:>12} {:>12} {:>12.4} {:>14.4} {:>12.4} {:>10} {:>14} {:>14}",
+            r.n,
+            r.k,
+            r.parallel_secs,
+            r.parallel_1t_secs,
+            r.sequential_secs,
+            r.rounds,
+            r.parallel_work,
+            r.sequential_work
+        );
+    }
+}
+
+/// Geometric sweep of `k` values up to `max_k` (mirroring the log-scaled x
+/// axes of the paper's figures).
+pub fn k_sweep(max_k: usize, points: usize) -> Vec<usize> {
+    let mut ks = Vec::new();
+    let mut k = 10usize.min(max_k).max(1);
+    for _ in 0..points {
+        if ks.last() != Some(&k) {
+            ks.push(k);
+        }
+        if k >= max_k {
+            break;
+        }
+        k = (k * 10).min(max_k);
+    }
+    ks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_smoke() {
+        let rows = run_fig6(5_000, &[10, 100], 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].k, 10);
+        assert_eq!(rows[1].k, 100);
+        assert_eq!(rows[0].rounds, 10);
+        print_fig6(&rows);
+    }
+
+    #[test]
+    fn fig7_smoke() {
+        let rows = run_fig7(5_000, &[5, 50], 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].k, 5);
+        assert_eq!(rows[1].k, 50);
+        assert_eq!(rows[0].rounds, 5);
+        print_fig7(&rows);
+    }
+
+    #[test]
+    fn k_sweep_is_geometric_and_capped() {
+        assert_eq!(k_sweep(100_000, 10), vec![10, 100, 1000, 10_000, 100_000]);
+        assert_eq!(k_sweep(500, 10), vec![10, 100, 500]);
+        assert_eq!(k_sweep(5, 10), vec![5]);
+    }
+}

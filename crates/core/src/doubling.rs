@@ -1,0 +1,171 @@
+//! Prefix-doubling cordon search (the `FindCordon` skeleton of Alg. 1).
+//!
+//! The decision-monotone algorithms (convex/concave GLWS, GAP, Tree-GLWS)
+//! cannot afford to test every tentative state for readiness: most of them are
+//! far beyond the cordon.  The paper's fix (Sec. 4.2.1) is *prefix doubling*:
+//! probe batches of geometrically growing size `2^{t-1}` starting right after
+//! the last finalized state, stop as soon as the best sentinel found so far
+//! falls inside (or immediately after) the probed region.  The number of
+//! probed-but-unready states is then at most the number of states finalized in
+//! the round, so the waste amortizes to `O(n)` over the whole run.
+
+/// Statistics reported by one [`prefix_doubling_cordon`] invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DoublingStats {
+    /// Number of doubling sub-steps executed.
+    pub substeps: usize,
+    /// Total number of states probed across all sub-steps.
+    pub probed: usize,
+    /// Number of probed states at or beyond the returned cordon (the "wasted"
+    /// probes the amortization argument charges to this round).
+    pub wasted: usize,
+}
+
+/// Find the cordon position after `now` using prefix doubling.
+///
+/// States are indexed `1..=n`; `now` is the last finalized state (`0` before
+/// the first round).  `probe_batch(l, r)` must examine the tentative states
+/// `l..=r` and return the smallest sentinel position any of them produces
+/// (i.e. the smallest state index that one of them can successfully relax), or
+/// `None` if the batch produces no sentinel.  Sentinel positions may lie
+/// beyond `r`.
+///
+/// Returns `(cordon, stats)` where `cordon` is the smallest sentinel position
+/// found overall, or `n + 1` when no tentative state can relax any other —
+/// in that case every remaining state is ready.
+pub fn prefix_doubling_cordon<F>(now: usize, n: usize, mut probe_batch: F) -> (usize, DoublingStats)
+where
+    F: FnMut(usize, usize) -> Option<usize>,
+{
+    let mut cordon = n + 1;
+    let mut stats = DoublingStats::default();
+    let mut width = 1usize;
+    let mut l = now + 1;
+    while l <= n {
+        let r = (l + width - 1).min(n).min(cordon.saturating_sub(1));
+        if r < l {
+            break;
+        }
+        stats.substeps += 1;
+        stats.probed += r - l + 1;
+        if let Some(sentinel) = probe_batch(l, r) {
+            debug_assert!(
+                sentinel > now,
+                "a sentinel can only be placed on a tentative state"
+            );
+            cordon = cordon.min(sentinel);
+        }
+        // Stop once the cordon lies within or immediately after the probed
+        // prefix: everything in [now+1, cordon-1] has been probed and is ready.
+        if cordon <= r + 1 {
+            break;
+        }
+        l = r + 1;
+        width *= 2;
+    }
+    // Probes at or beyond the cordon were wasted; the doubling schedule keeps
+    // this below the number of useful probes.
+    stats.wasted = stats
+        .probed
+        .saturating_sub(cordon.saturating_sub(now + 1).min(stats.probed));
+    (cordon, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle model: state `i` places a sentinel on `sentinel_of[i]` (or none).
+    fn run_model(now: usize, n: usize, sentinel_of: &[Option<usize>]) -> (usize, DoublingStats) {
+        prefix_doubling_cordon(now, n, |l, r| {
+            (l..=r).filter_map(|j| sentinel_of[j]).min()
+        })
+    }
+
+    #[test]
+    fn no_sentinels_means_everything_ready() {
+        let n = 20;
+        let sentinels = vec![None; n + 1];
+        let (cordon, stats) = run_model(0, n, &sentinels);
+        assert_eq!(cordon, n + 1);
+        assert_eq!(stats.probed, n);
+        assert_eq!(stats.wasted, 0);
+    }
+
+    #[test]
+    fn immediate_sentinel_stops_after_first_batch() {
+        // State 1 can relax state 2: the cordon is 2, only state 1 is ready.
+        let n = 100;
+        let mut sentinels = vec![None; n + 1];
+        sentinels[1] = Some(2);
+        let (cordon, stats) = run_model(0, n, &sentinels);
+        assert_eq!(cordon, 2);
+        assert_eq!(stats.substeps, 1);
+        assert_eq!(stats.probed, 1);
+    }
+
+    #[test]
+    fn wasted_probes_bounded_by_useful_ones() {
+        // Cordon at 10: states 1..=9 ready. Doubling probes 1,2,4,8,16 -> but
+        // batches clip at cordon-1 once known; the waste must stay <= useful.
+        let n = 1000;
+        let mut sentinels = vec![None; n + 1];
+        sentinels[7] = Some(10);
+        let (cordon, stats) = run_model(0, n, &sentinels);
+        assert_eq!(cordon, 10);
+        assert!(stats.wasted <= 9, "wasted {} > useful 9", stats.wasted);
+    }
+
+    #[test]
+    fn respects_now_offset() {
+        let n = 50;
+        let mut sentinels = vec![None; n + 1];
+        sentinels[30] = Some(33);
+        let (cordon, _) = run_model(25, n, &sentinels);
+        assert_eq!(cordon, 33);
+        // Nothing before `now` is probed.
+        let (cordon, stats) = run_model(40, n, &sentinels);
+        assert_eq!(cordon, n + 1);
+        assert_eq!(stats.probed, 10);
+    }
+
+    #[test]
+    fn sentinel_exactly_after_batch_terminates() {
+        // First batch is [1,1]; if it reports sentinel 2, cordon <= r+1 and we
+        // stop without probing further.
+        let n = 8;
+        let mut calls = 0;
+        let (cordon, stats) = prefix_doubling_cordon(0, n, |l, r| {
+            calls += 1;
+            assert_eq!((l, r), (1, 1));
+            Some(2)
+        });
+        assert_eq!(cordon, 2);
+        assert_eq!(calls, 1);
+        assert_eq!(stats.substeps, 1);
+    }
+
+    #[test]
+    fn now_equal_n_probes_nothing() {
+        let (cordon, stats) = prefix_doubling_cordon(5, 5, |_, _| panic!("no batch expected"));
+        assert_eq!(cordon, 6);
+        assert_eq!(stats.substeps, 0);
+    }
+
+    #[test]
+    fn batches_double_in_size() {
+        let n = 64;
+        let mut seen = Vec::new();
+        let _ = prefix_doubling_cordon(0, n, |l, r| {
+            seen.push((l, r));
+            None
+        });
+        assert_eq!(seen[0], (1, 1));
+        assert_eq!(seen[1], (2, 3));
+        assert_eq!(seen[2], (4, 7));
+        assert_eq!(seen[3], (8, 15));
+        assert_eq!(seen[5], (32, 63));
+        // The final batch is clipped to n.
+        assert_eq!(*seen.last().unwrap(), (64, 64));
+    }
+}

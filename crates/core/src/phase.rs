@@ -1,0 +1,134 @@
+//! Phase-parallel driver.
+//!
+//! The phase-parallel framework (Shen et al. [81], adapted to DP in Sec. 2.3)
+//! repeatedly identifies a frontier of mutually independent operations and
+//! processes it in parallel.  The driver below is deliberately thin: the whole
+//! difficulty of the paper lies in making `round()` cheap for each concrete
+//! problem, and that logic lives in the problem crates.  Centralizing the loop
+//! here gives every algorithm identical round accounting and a single place to
+//! guard against non-termination.
+
+use pardp_parutils::MetricsCollector;
+
+/// A problem instance that can be advanced one cordon round at a time.
+pub trait PhaseParallel {
+    /// Final result produced once all states are finalized.
+    type Output;
+
+    /// Whether every state has been finalized.
+    fn is_done(&self) -> bool;
+
+    /// Execute one cordon round: identify the frontier, finalize it, update
+    /// the auxiliary structures.  Returns the number of states finalized in
+    /// this round (the frontier size), which must be positive while
+    /// [`PhaseParallel::is_done`] is false.
+    fn round(&mut self) -> usize;
+
+    /// Consume the instance and return the output.
+    fn finish(self) -> Self::Output;
+}
+
+/// Run `instance` to completion, recording rounds and frontier sizes in
+/// `metrics`.
+///
+/// # Panics
+///
+/// Panics if a round finalizes zero states while the instance reports it is
+/// not done — that would mean the cordon failed to make progress, which the
+/// correctness proof of Theorem 2.1 rules out for well-formed instances, so we
+/// surface it loudly instead of looping forever.
+pub fn run_phase_parallel<P: PhaseParallel>(
+    mut instance: P,
+    metrics: &MetricsCollector,
+) -> P::Output {
+    while !instance.is_done() {
+        let frontier = instance.round();
+        assert!(
+            frontier > 0,
+            "cordon round made no progress; the instance violates the framework's preconditions"
+        );
+        metrics.add_round();
+        metrics.add_states(frontier as u64);
+    }
+    instance.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardp_parutils::MetricsCollector;
+
+    /// Toy instance: counts down `remaining` in frontier chunks of `step`.
+    struct Countdown {
+        remaining: usize,
+        step: usize,
+        finalized: usize,
+    }
+
+    impl PhaseParallel for Countdown {
+        type Output = usize;
+        fn is_done(&self) -> bool {
+            self.remaining == 0
+        }
+        fn round(&mut self) -> usize {
+            let f = self.step.min(self.remaining);
+            self.remaining -= f;
+            self.finalized += f;
+            f
+        }
+        fn finish(self) -> usize {
+            self.finalized
+        }
+    }
+
+    #[test]
+    fn runs_until_done_and_counts_rounds() {
+        let metrics = MetricsCollector::new();
+        let out = run_phase_parallel(
+            Countdown {
+                remaining: 10,
+                step: 3,
+                finalized: 0,
+            },
+            &metrics,
+        );
+        assert_eq!(out, 10);
+        let m = metrics.snapshot();
+        assert_eq!(m.rounds, 4); // 3 + 3 + 3 + 1
+        assert_eq!(m.states_finalized, 10);
+    }
+
+    #[test]
+    fn empty_instance_runs_zero_rounds() {
+        let metrics = MetricsCollector::new();
+        let out = run_phase_parallel(
+            Countdown {
+                remaining: 0,
+                step: 5,
+                finalized: 0,
+            },
+            &metrics,
+        );
+        assert_eq!(out, 0);
+        assert_eq!(metrics.snapshot().rounds, 0);
+    }
+
+    struct Stuck;
+    impl PhaseParallel for Stuck {
+        type Output = ();
+        fn is_done(&self) -> bool {
+            false
+        }
+        fn round(&mut self) -> usize {
+            0
+        }
+        fn finish(self) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "no progress")]
+    fn stalled_instance_panics() {
+        let metrics = MetricsCollector::new();
+        run_phase_parallel(Stuck, &metrics);
+    }
+}

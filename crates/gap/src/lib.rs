@@ -1,0 +1,495 @@
+//! The GAP edit-distance problem (Sec. 5.2, Theorem 5.2).
+//!
+//! GAP aligns two strings `A[1..n]` and `B[1..m]` where a whole block of
+//! characters can be deleted at once: deleting `A[l+1..r]` costs `w1(l, r)`
+//! and deleting `B[l+1..r]` costs `w2(l, r)`.  The GAP recurrence is
+//!
+//! ```text
+//! P[i][j] = min_{i' < i} D[i'][j] + w1(i', i)        (a gap in A, column GLWS)
+//! Q[i][j] = min_{j' < j} D[i][j'] + w2(j', j)        (a gap in B, row GLWS)
+//! D[i][j] = min( P[i][j], Q[i][j], D[i-1][j-1] if A[i] = B[j] )
+//! ```
+//!
+//! With convex (or concave) gap costs every row and every column is a GLWS
+//! instance, so the optimized sequential algorithm `Γ_gap` runs in
+//! `O(nm log n)` instead of `O(n²m)`.  This crate provides
+//!
+//! * [`naive_gap`] — the direct `O(n²m + nm²)` recurrence (oracle),
+//! * [`sequential_gap`] — `Γ_gap`: row-major evaluation with one online
+//!   convex decision structure per row and per column (`O(nm log n)`),
+//! * [`parallel_gap`] — the parallel evaluation: cells are processed in
+//!   staircase frontiers (anti-diagonal wavefronts of the grid DAG), each
+//!   frontier in parallel, with the same per-row/per-column structures and
+//!   the same `O(nm log n)` work.  The number of frontier rounds reported in
+//!   the metrics is the grid depth `n + m - 1`; the fully cordon-packed
+//!   variant that compresses rounds to the effective depth `k` (Theorem 5.2)
+//!   is discussed in DESIGN.md — the wavefront keeps the identical work and
+//!   data structures while being considerably simpler, and on convex costs it
+//!   produces identical values (validated against the oracle).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pardp_parutils::{Metrics, MetricsCollector};
+use rayon::prelude::*;
+
+/// A GAP problem instance: two strings plus the two block-deletion cost
+/// functions (given as [`GlwsProblem`]-style cost families over positions).
+pub struct GapInstance<'a, W1, W2> {
+    /// First string (length `n`).
+    pub a: &'a [u8],
+    /// Second string (length `m`).
+    pub b: &'a [u8],
+    /// Cost of deleting `A[l+1..=r]`.
+    pub w1: W1,
+    /// Cost of deleting `B[l+1..=r]`.
+    pub w2: W2,
+}
+
+/// Result of a GAP computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GapResult {
+    /// `d[i][j]` = minimum alignment cost of `A[1..=i]` vs `B[1..=j]`.
+    pub d: Vec<Vec<i64>>,
+    /// Total alignment cost `d[n][m]`.
+    pub cost: i64,
+    /// Work / round counters.
+    pub metrics: Metrics,
+}
+
+const INF: i64 = i64::MAX / 4;
+
+impl<'a, W1, W2> GapInstance<'a, W1, W2>
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    /// Create an instance from strings and gap-cost closures.
+    pub fn new(a: &'a [u8], b: &'a [u8], w1: W1, w2: W2) -> Self {
+        GapInstance { a, b, w1, w2 }
+    }
+
+    #[inline]
+    fn matches(&self, i: usize, j: usize) -> bool {
+        self.a[i - 1] == self.b[j - 1]
+    }
+}
+
+/// Build a GAP instance with the affine-plus-quadratic convex gap penalty
+/// `w(l, r) = open + ext·(r-l) + quad·(r-l)²` on both strings.
+pub fn convex_gap_instance<'a>(
+    a: &'a [u8],
+    b: &'a [u8],
+    open: i64,
+    ext: i64,
+    quad: i64,
+) -> GapInstance<'a, impl Fn(usize, usize) -> i64 + Sync, impl Fn(usize, usize) -> i64 + Sync> {
+    assert!(quad >= 0, "quadratic coefficient must be non-negative");
+    let cost = move |l: usize, r: usize| {
+        let len = (r - l) as i64;
+        open + ext * len + quad * len * len
+    };
+    GapInstance::new(a, b, cost, cost)
+}
+
+/// Direct evaluation of the GAP recurrence, `O(n²m + nm²)` work.
+pub fn naive_gap<W1, W2>(inst: &GapInstance<'_, W1, W2>) -> GapResult
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    let metrics = MetricsCollector::new();
+    let (n, m) = (inst.a.len(), inst.b.len());
+    let mut d = vec![vec![INF; m + 1]; n + 1];
+    d[0][0] = 0;
+    let mut edges = 0u64;
+    for i in 0..=n {
+        for j in 0..=m {
+            if i == 0 && j == 0 {
+                continue;
+            }
+            let mut best = INF;
+            for ip in 0..i {
+                edges += 1;
+                if d[ip][j] < INF {
+                    best = best.min(d[ip][j] + (inst.w1)(ip, i));
+                }
+            }
+            for jp in 0..j {
+                edges += 1;
+                if d[i][jp] < INF {
+                    best = best.min(d[i][jp] + (inst.w2)(jp, j));
+                }
+            }
+            if i > 0 && j > 0 && inst.matches(i, j) && d[i - 1][j - 1] < INF {
+                edges += 1;
+                best = best.min(d[i - 1][j - 1]);
+            }
+            d[i][j] = best;
+        }
+    }
+    metrics.add_edges(edges);
+    metrics.add_states(((n + 1) * (m + 1)) as u64);
+    let cost = d[n][m];
+    GapResult {
+        d,
+        cost,
+        metrics: metrics.snapshot(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Online convex decision structure (shared by the sequential and parallel
+// optimized algorithms).
+// ---------------------------------------------------------------------------
+
+/// An online best-decision structure for a convex cost: decisions are inserted
+/// in increasing position order and queries may come at any later position.
+/// Queries do not mutate the structure (binary search over takeover
+/// positions), so tentative probes are safe.
+#[derive(Debug, Clone)]
+struct ConvexDecisionList {
+    /// `(takeover, decision, decision_value)` — from `takeover` on (until the
+    /// next entry's takeover), `decision` is the best inserted decision.
+    entries: Vec<(usize, usize, i64)>,
+    horizon: usize,
+}
+
+impl ConvexDecisionList {
+    fn new(horizon: usize) -> Self {
+        ConvexDecisionList {
+            entries: Vec::new(),
+            horizon,
+        }
+    }
+
+    /// Insert a decision at `pos` with value `val`; `cost(l, r)` is the gap
+    /// cost.  Decisions must be inserted in increasing `pos` order.
+    fn insert(&mut self, pos: usize, val: i64, cost: &impl Fn(usize, usize) -> i64) {
+        if val >= INF {
+            return;
+        }
+        let candidate = |q: usize| val + cost(pos, q);
+        // Pop entries that the new decision dominates from their own takeover.
+        while let Some(&(start, dec, dval)) = self.entries.last() {
+            if start > pos && candidate(start) <= dval + cost(dec, start) {
+                self.entries.pop();
+            } else {
+                break;
+            }
+        }
+        // Find the takeover position of the new decision vs the current last.
+        let takeover = match self.entries.last() {
+            None => pos + 1,
+            Some(&(start, dec, dval)) => {
+                let incumbent = |q: usize| dval + cost(dec, q);
+                // First q in (max(start, pos)+1 ..= horizon] where the new
+                // decision is at least as good (suffix property of convexity).
+                let mut lo = start.max(pos) + 1;
+                let mut hi = self.horizon + 1; // horizon+1 = never
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if candidate(mid) <= incumbent(mid) {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                lo
+            }
+        };
+        if takeover <= self.horizon {
+            self.entries.push((takeover, pos, val));
+        }
+    }
+
+    /// Best value at query position `q` (must be greater than every inserted
+    /// decision position), or `INF` if no decision applies.
+    fn query(&self, q: usize, cost: &impl Fn(usize, usize) -> i64) -> i64 {
+        let idx = self.entries.partition_point(|&(start, _, _)| start <= q);
+        if idx == 0 {
+            return INF;
+        }
+        let (_, dec, dval) = self.entries[idx - 1];
+        dval + cost(dec, q)
+    }
+}
+
+/// The optimized sequential algorithm `Γ_gap`: row-major evaluation with one
+/// [`ConvexDecisionList`] per row (for `Q`) and per column (for `P`).
+/// Requires convex gap costs.  `O(nm log(n+m))` work.
+pub fn sequential_gap<W1, W2>(inst: &GapInstance<'_, W1, W2>) -> GapResult
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    let metrics = MetricsCollector::new();
+    let (n, m) = (inst.a.len(), inst.b.len());
+    let mut d = vec![vec![INF; m + 1]; n + 1];
+    let mut row_struct: Vec<ConvexDecisionList> =
+        (0..=n).map(|_| ConvexDecisionList::new(m)).collect();
+    let mut col_struct: Vec<ConvexDecisionList> =
+        (0..=m).map(|_| ConvexDecisionList::new(n)).collect();
+    let mut probes = 0u64;
+    for i in 0..=n {
+        for j in 0..=m {
+            let value = if i == 0 && j == 0 {
+                0
+            } else {
+                let p = col_struct[j].query(i, &inst.w1);
+                let q = row_struct[i].query(j, &inst.w2);
+                probes += 2;
+                let mut best = p.min(q);
+                if i > 0 && j > 0 && inst.matches(i, j) {
+                    best = best.min(d[i - 1][j - 1]);
+                }
+                best
+            };
+            d[i][j] = value;
+            row_struct[i].insert(j, value, &inst.w2);
+            col_struct[j].insert(i, value, &inst.w1);
+            metrics.add_edges(3);
+        }
+    }
+    metrics.add_probes(probes);
+    metrics.add_states(((n + 1) * (m + 1)) as u64);
+    let cost = d[n][m];
+    GapResult {
+        d,
+        cost,
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// Parallel GAP: the grid DAG is evaluated frontier by frontier
+/// (anti-diagonals `i + j = const`), all cells of a frontier in parallel, with
+/// the same per-row/per-column convex decision structures as
+/// [`sequential_gap`] (each structure receives exactly one insertion per
+/// frontier, performed in parallel across rows/columns).  Work `O(nm log n)`.
+pub fn parallel_gap<W1, W2>(inst: &GapInstance<'_, W1, W2>) -> GapResult
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    let metrics = MetricsCollector::new();
+    let (n, m) = (inst.a.len(), inst.b.len());
+    let mut d = vec![vec![INF; m + 1]; n + 1];
+    d[0][0] = 0;
+    let mut row_struct: Vec<ConvexDecisionList> =
+        (0..=n).map(|_| ConvexDecisionList::new(m)).collect();
+    let mut col_struct: Vec<ConvexDecisionList> =
+        (0..=m).map(|_| ConvexDecisionList::new(n)).collect();
+    // Seed the structures with the boundary cell.
+    row_struct[0].insert(0, 0, &inst.w2);
+    col_struct[0].insert(0, 0, &inst.w1);
+
+    for diag in 1..=(n + m) {
+        // Cells (i, j) with i + j = diag.
+        let i_lo = diag.saturating_sub(m);
+        let i_hi = diag.min(n);
+        if i_lo > i_hi {
+            continue;
+        }
+        let d_ref = &d;
+        let row_ref = &row_struct;
+        let col_ref = &col_struct;
+        let values: Vec<i64> = (i_lo..=i_hi)
+            .into_par_iter()
+            .map(|i| {
+                let j = diag - i;
+                let p = col_ref[j].query(i, &inst.w1);
+                let q = row_ref[i].query(j, &inst.w2);
+                let mut best = p.min(q);
+                if i > 0 && j > 0 && inst.matches(i, j) {
+                    best = best.min(d_ref[i - 1][j - 1]);
+                }
+                best
+            })
+            .collect();
+        // Write the frontier values, then insert each cell into its row and
+        // column structure (one insertion per structure, all structures
+        // disjoint, so the two loops parallelize over rows and columns).
+        for (off, &v) in values.iter().enumerate() {
+            let i = i_lo + off;
+            let j = diag - i;
+            d[i][j] = v;
+        }
+        let w2 = &inst.w2;
+        let w1 = &inst.w1;
+        row_struct[i_lo..=i_hi]
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(off, rs)| {
+                let i = i_lo + off;
+                let j = diag - i;
+                rs.insert(j, values[off], w2);
+            });
+        let j_lo = diag - i_hi;
+        let j_hi = diag - i_lo;
+        col_struct[j_lo..=j_hi]
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(off, cs)| {
+                let j = j_lo + off;
+                let i = diag - j;
+                cs.insert(i, d_ref_value(&d, i, j), w1);
+            });
+        metrics.add_round();
+        metrics.add_states((i_hi - i_lo + 1) as u64);
+        metrics.add_edges(3 * (i_hi - i_lo + 1) as u64);
+    }
+    metrics.add_probes((2 * (n + 1) * (m + 1)) as u64);
+    let cost = d[n][m];
+    GapResult {
+        d,
+        cost,
+        metrics: metrics.snapshot(),
+    }
+}
+
+#[inline]
+fn d_ref_value(d: &[Vec<i64>], i: usize, j: usize) -> i64 {
+    d[i][j]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_string(n: usize, seed: u64, alphabet: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % alphabet) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_strings_align_for_free() {
+        let a = pseudo_string(30, 1, 4);
+        let inst = convex_gap_instance(&a, &a, 5, 1, 1);
+        assert_eq!(naive_gap(&inst).cost, 0);
+        assert_eq!(sequential_gap(&inst).cost, 0);
+        assert_eq!(parallel_gap(&inst).cost, 0);
+    }
+
+    #[test]
+    fn deleting_everything_when_no_matches() {
+        // Disjoint alphabets: the only option is to delete both strings whole.
+        let a = vec![0u8; 12];
+        let b = vec![1u8; 7];
+        let inst = convex_gap_instance(&a, &b, 3, 2, 0);
+        let expect = (3 + 2 * 12) + (3 + 2 * 7);
+        assert_eq!(naive_gap(&inst).cost, expect);
+        assert_eq!(sequential_gap(&inst).cost, expect);
+        assert_eq!(parallel_gap(&inst).cost, expect);
+    }
+
+    #[test]
+    fn optimized_algorithms_match_naive_on_random_inputs() {
+        for seed in 0..6 {
+            for &(open, ext, quad) in &[(2i64, 1i64, 0i64), (10, 0, 1), (50, 3, 2)] {
+                let a = pseudo_string(28, seed, 3);
+                let b = pseudo_string(23, seed + 77, 3);
+                let inst = convex_gap_instance(&a, &b, open, ext, quad);
+                let want = naive_gap(&inst);
+                let seq = sequential_gap(&inst);
+                let par = parallel_gap(&inst);
+                assert_eq!(seq.d, want.d, "seed {seed} cost ({open},{ext},{quad})");
+                assert_eq!(par.d, want.d, "seed {seed} cost ({open},{ext},{quad})");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_gap_costs() {
+        // Deleting from A is much more expensive than deleting from B.
+        let a = pseudo_string(20, 3, 2);
+        let b = pseudo_string(25, 9, 2);
+        let inst = GapInstance::new(
+            &a,
+            &b,
+            |l: usize, r: usize| 100 + 10 * (r - l) as i64,
+            |l: usize, r: usize| 1 + (r - l) as i64,
+        );
+        let want = naive_gap(&inst);
+        assert_eq!(sequential_gap(&inst).d, want.d);
+        assert_eq!(parallel_gap(&inst).d, want.d);
+    }
+
+    #[test]
+    fn empty_strings() {
+        let empty: Vec<u8> = vec![];
+        let b = pseudo_string(5, 2, 3);
+        let inst = convex_gap_instance(&empty, &b, 4, 1, 1);
+        let want = naive_gap(&inst);
+        // Splitting the deletion of B into gaps of 2 and 3 beats one gap of 5:
+        // (4+2+4) + (4+3+9) = 26 < 4+5+25 = 34.
+        assert_eq!(want.cost, 26);
+        assert_eq!(sequential_gap(&inst).cost, want.cost);
+        assert_eq!(parallel_gap(&inst).cost, want.cost);
+        let inst = convex_gap_instance(&empty, &empty, 4, 1, 1);
+        assert_eq!(parallel_gap(&inst).cost, 0);
+    }
+
+    #[test]
+    fn parallel_rounds_equal_grid_depth() {
+        let a = pseudo_string(15, 5, 4);
+        let b = pseudo_string(10, 6, 4);
+        let inst = convex_gap_instance(&a, &b, 2, 1, 1);
+        let r = parallel_gap(&inst);
+        assert_eq!(r.metrics.rounds, 25);
+    }
+
+    #[test]
+    fn block_deletion_beats_char_by_char_with_convex_open_cost() {
+        // A = B plus an inserted block; with a large opening cost the optimum
+        // removes the block with a single gap.
+        let mut a = pseudo_string(40, 8, 5);
+        let b = a.clone();
+        // Insert a block of 6 junk symbols (value 9, absent from b) into a.
+        for t in 0..6 {
+            a.insert(20, 9 + (t as u8 % 2) * 0);
+        }
+        let inst = convex_gap_instance(&a, &b, 30, 1, 0);
+        let want = naive_gap(&inst);
+        // One gap of length 6 in A: 30 + 6.
+        assert_eq!(want.cost, 36);
+        assert_eq!(parallel_gap(&inst).cost, 36);
+        assert_eq!(sequential_gap(&inst).cost, 36);
+    }
+
+    #[test]
+    fn convex_decision_list_matches_bruteforce() {
+        // Standalone check of the online structure against brute force.
+        let cost = |l: usize, r: usize| {
+            let len = (r - l) as i64;
+            7 + 2 * len + len * len
+        };
+        let horizon = 60;
+        let mut list = ConvexDecisionList::new(horizon);
+        let mut inserted: Vec<(usize, i64)> = Vec::new();
+        let mut state = 12345u64;
+        for pos in 0..40usize {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let val = (state % 50) as i64;
+            list.insert(pos, val, &cost);
+            inserted.push((pos, val));
+            // Query a few positions after pos.
+            for q in (pos + 1)..=(pos + 5).min(horizon) {
+                let want = inserted
+                    .iter()
+                    .map(|&(p, v)| v + cost(p, q))
+                    .min()
+                    .unwrap();
+                assert_eq!(list.query(q, &cost), want, "pos {pos} q {q}");
+            }
+        }
+    }
+}

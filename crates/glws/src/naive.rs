@@ -1,0 +1,98 @@
+//! Quadratic reference solution for GLWS.
+//!
+//! Evaluates Eq. 4 literally: every state scans every earlier decision.  It is
+//! the oracle used by unit and property tests of both the sequential
+//! Galil–Park algorithm and the parallel cordon algorithms, and it is also the
+//! "no-optimization" baseline reported by the benchmark harness to show how
+//! much work decision monotonicity saves.
+
+use crate::cost::GlwsProblem;
+use crate::GlwsResult;
+use pardp_parutils::MetricsCollector;
+
+/// Solve a GLWS instance by the direct `O(n²)` recurrence.
+///
+/// Ties between decisions are broken towards the smallest decision index, so
+/// the resulting `best` array is the leftmost-argmin solution.
+pub fn naive_glws<P: GlwsProblem>(problem: &P) -> GlwsResult {
+    let n = problem.n();
+    let metrics = MetricsCollector::new();
+    let mut d = vec![0i64; n + 1];
+    let mut best = vec![0usize; n + 1];
+    d[0] = problem.d0();
+    let mut edges = 0u64;
+    for i in 1..=n {
+        let mut best_val = i64::MAX;
+        let mut best_j = 0usize;
+        for j in 0..i {
+            edges += 1;
+            let cand = problem.e(d[j], j) + problem.w(j, i);
+            if cand < best_val {
+                best_val = cand;
+                best_j = j;
+            }
+        }
+        d[i] = best_val;
+        best[i] = best_j;
+    }
+    metrics.add_edges(edges);
+    metrics.add_states(n as u64);
+    GlwsResult {
+        d,
+        best,
+        metrics: metrics.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{ConvexGapCost, PostOfficeProblem};
+
+    #[test]
+    fn single_state() {
+        let p = ConvexGapCost::new(1, 5, 1, 1);
+        let r = naive_glws(&p);
+        assert_eq!(r.d, vec![0, 7]); // 0 + (5 + 1 + 1)
+        assert_eq!(r.best, vec![0, 0]);
+    }
+
+    #[test]
+    fn hand_checked_post_office() {
+        // Villages at 0, 1, 10, 11; opening cost 4.
+        // One office for all: 4 + (11-0)^2 = 125.
+        // Two offices {0,1},{10,11}: (4+1) + (4+1) = 10.  Optimal.
+        let p = PostOfficeProblem::new(vec![0, 1, 10, 11], 4);
+        let r = naive_glws(&p);
+        assert_eq!(r.d[4], 10);
+        assert_eq!(r.best[4], 2);
+        assert_eq!(r.decision_depth(4), 2);
+        assert!(r.check_consistency(&p));
+    }
+
+    #[test]
+    fn all_in_one_cluster_when_opening_is_expensive() {
+        let p = PostOfficeProblem::new(vec![0, 1, 2, 3], 1_000_000);
+        let r = naive_glws(&p);
+        assert_eq!(r.best[4], 0);
+        assert_eq!(r.decision_depth(4), 1);
+        assert_eq!(r.d[4], 1_000_000 + 9);
+    }
+
+    #[test]
+    fn metrics_count_quadratic_edges() {
+        let p = ConvexGapCost::new(10, 1, 1, 1);
+        let r = naive_glws(&p);
+        assert_eq!(r.metrics.edges_relaxed, 55); // 1 + 2 + ... + 10
+        assert_eq!(r.metrics.states_finalized, 10);
+    }
+
+    #[test]
+    fn perfect_depth_matches_manual_chain() {
+        let p = PostOfficeProblem::new(vec![0, 1, 10, 11, 20, 21], 4);
+        let r = naive_glws(&p);
+        // Optimal: three clusters {0,1},{10,11},{20,21}.
+        assert_eq!(r.decision_depth(6), 3);
+        assert_eq!(r.perfect_depth(), 3);
+    }
+}

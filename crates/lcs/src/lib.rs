@@ -1,0 +1,350 @@
+//! Sparse Longest Common Subsequence (Sec. 3, Theorem 3.2).
+//!
+//! Given `A[1..n]` and `B[1..m]`, only the `L` *matching pairs* `(i, j)` with
+//! `A[i] = B[j]` can contribute to the LCS (the sparsification of
+//! Apostolico–Guerra / Hunt–Szymanski).  Sorting the pairs by column `i`
+//! ascending and row `j` descending turns the LCS into an LIS over the `j`
+//! keys of the sorted list — the "interesting finding" at the end of Sec. 3 —
+//! so the same cordon/tournament-tree machinery applies:
+//!
+//! * [`dense_lcs`] — the classic `O(nm)` dynamic program (test oracle),
+//! * [`sequential_sparse_lcs`] — Hunt–Szymanski in `O(L log n)` (the paper's
+//!   sequential baseline in Fig. 6),
+//! * [`parallel_sparse_lcs`] — the Cordon Algorithm: round `r` extracts every
+//!   matching pair on the current cordon staircase (exactly the pairs whose
+//!   LCS value is `r`) with a tournament tree; `k` rounds total, `O(L log n)`
+//!   work and `O(k log n)` span.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pardp_parutils::{par_sort_by_key, Metrics, MetricsCollector};
+use pardp_tournament::{TieRule, TournamentTree};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// A matching pair: position `i` in the first string matches position `j` in
+/// the second string (`A[i] == B[j]`, both 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatchPair {
+    /// Position in the first sequence.
+    pub i: u32,
+    /// Position in the second sequence.
+    pub j: u32,
+}
+
+/// Result of an LCS computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LcsResult {
+    /// LCS length.
+    pub length: u32,
+    /// For the sparse algorithms: the DP value (LCS length of the prefix
+    /// ending at that pair) of every matching pair, in the canonical sorted
+    /// order (`i` ascending, `j` descending).  Empty for [`dense_lcs`].
+    pub pair_values: Vec<u32>,
+    /// Work / round counters.
+    pub metrics: Metrics,
+}
+
+/// Enumerate all matching pairs of `a` and `b`, sorted by `i` ascending and
+/// `j` descending (the canonical order used by the sparse algorithms).
+///
+/// Runs in `O(n + m + L)` expected work (hash bucketing by symbol) plus the
+/// sort.
+pub fn matching_pairs<T: Eq + std::hash::Hash + Copy + Sync>(a: &[T], b: &[T]) -> Vec<MatchPair> {
+    let mut positions: HashMap<T, Vec<u32>> = HashMap::new();
+    for (j, &x) in b.iter().enumerate() {
+        positions.entry(x).or_default().push(j as u32);
+    }
+    let mut pairs: Vec<MatchPair> = a
+        .par_iter()
+        .enumerate()
+        .flat_map_iter(|(i, x)| {
+            positions
+                .get(x)
+                .map(|js| {
+                    js.iter()
+                        .rev() // j descending within the same i
+                        .map(move |&j| MatchPair { i: i as u32, j })
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default()
+        })
+        .collect();
+    // The flat_map already yields i-ascending / j-descending order, but sort
+    // defensively so callers can pass arbitrary pair lists.
+    par_sort_by_key(&mut pairs, |p| (p.i, std::cmp::Reverse(p.j)));
+    pairs
+}
+
+/// Classic `O(nm)` dense LCS (the unsparsified textbook DP).  Oracle for the
+/// sparse implementations and the "no-optimization" baseline.
+pub fn dense_lcs<T: Eq>(a: &[T], b: &[T]) -> LcsResult {
+    let metrics = MetricsCollector::new();
+    let (n, m) = (a.len(), b.len());
+    let mut prev = vec![0u32; m + 1];
+    let mut cur = vec![0u32; m + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            cur[j] = if a[i - 1] == b[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(cur[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    metrics.add_edges((n * m) as u64);
+    metrics.add_states((n * m) as u64);
+    LcsResult {
+        length: prev[m],
+        pair_values: Vec::new(),
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// Hunt–Szymanski sparse LCS: processes the matching pairs in the canonical
+/// order and maintains the "threshold" array with binary searches,
+/// `O(L log n)` work.  Also reports the DP value of every pair.
+pub fn sequential_sparse_lcs(pairs: &[MatchPair]) -> LcsResult {
+    let metrics = MetricsCollector::new();
+    debug_assert!(pairs_are_canonically_sorted(pairs));
+    // thresholds[t] = smallest j that ends an increasing (in j) chain of
+    // length t+1 seen so far.
+    let mut thresholds: Vec<u32> = Vec::new();
+    let mut pair_values = Vec::with_capacity(pairs.len());
+    let mut probes = 0u64;
+    for p in pairs {
+        // Length of the longest chain ending strictly below j, plus one.
+        let pos = thresholds.partition_point(|&t| t < p.j);
+        probes += (thresholds.len().max(2)).ilog2() as u64;
+        let value = pos as u32 + 1;
+        if pos == thresholds.len() {
+            thresholds.push(p.j);
+        } else if p.j < thresholds[pos] {
+            thresholds[pos] = p.j;
+        }
+        pair_values.push(value);
+        metrics.add_edges(1);
+    }
+    metrics.add_probes(probes);
+    metrics.add_states(pairs.len() as u64);
+    LcsResult {
+        length: thresholds.len() as u32,
+        pair_values,
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// Parallel sparse LCS via the Cordon Algorithm (Theorem 3.2).
+///
+/// The pairs must be in the canonical order (as produced by
+/// [`matching_pairs`]).  Round `r` extracts every pair on the current cordon —
+/// exactly the pairs with DP value `r` — using a tournament tree keyed by `j`.
+pub fn parallel_sparse_lcs(pairs: &[MatchPair]) -> LcsResult {
+    let metrics = MetricsCollector::new();
+    debug_assert!(pairs_are_canonically_sorted(pairs));
+    if pairs.is_empty() {
+        return LcsResult {
+            length: 0,
+            pair_values: Vec::new(),
+            metrics: metrics.snapshot(),
+        };
+    }
+    let keys: Vec<u32> = pairs.iter().map(|p| p.j).collect();
+    // A pair relaxes a later pair only with a strictly smaller j (and strictly
+    // smaller i, which the canonical order guarantees for smaller j values on
+    // the prefix-minimum staircase), so ties do not block.
+    let mut tree = TournamentTree::new(&keys, TieRule::TiesAreRecords);
+    let mut pair_values = vec![0u32; pairs.len()];
+    let mut round = 0u32;
+    loop {
+        let records = tree.extract_prefix_minima();
+        if records.is_empty() {
+            break;
+        }
+        round += 1;
+        metrics.add_round();
+        metrics.add_states(records.len() as u64);
+        metrics.add_edges(records.len() as u64);
+        for (pos, _) in records {
+            pair_values[pos] = round;
+        }
+    }
+    LcsResult {
+        length: round,
+        pair_values,
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// Convenience wrapper: enumerate the pairs of `a` and `b` and run the
+/// parallel sparse LCS.
+pub fn parallel_lcs_of<T: Eq + std::hash::Hash + Copy + Sync>(a: &[T], b: &[T]) -> LcsResult {
+    let pairs = matching_pairs(a, b);
+    parallel_sparse_lcs(&pairs)
+}
+
+fn pairs_are_canonically_sorted(pairs: &[MatchPair]) -> bool {
+    pairs
+        .windows(2)
+        .all(|w| (w[0].i, std::cmp::Reverse(w[0].j)) <= (w[1].i, std::cmp::Reverse(w[1].j)))
+}
+
+/// Reconstruct one LCS (as a vector of `(i, j)` index pairs) from the pair DP
+/// values produced by the sparse algorithms.
+pub fn reconstruct_lcs(pairs: &[MatchPair], values: &[u32], length: u32) -> Vec<MatchPair> {
+    assert_eq!(pairs.len(), values.len());
+    let mut out: Vec<MatchPair> = Vec::with_capacity(length as usize);
+    let mut need = length;
+    let mut max_i = u32::MAX;
+    let mut max_j = u32::MAX;
+    for idx in (0..pairs.len()).rev() {
+        if need == 0 {
+            break;
+        }
+        let p = pairs[idx];
+        if values[idx] == need && p.i < max_i && p.j < max_j {
+            out.push(p);
+            max_i = p.i;
+            max_j = p.j;
+            need -= 1;
+        }
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_string(n: usize, seed: u64, alphabet: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % alphabet) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hand_checked_small_case() {
+        let a = b"ABCBDAB".to_vec();
+        let b = b"BDCABA".to_vec();
+        // LCS is "BCBA" or "BDAB": length 4.
+        assert_eq!(dense_lcs(&a, &b).length, 4);
+        let pairs = matching_pairs(&a, &b);
+        assert_eq!(sequential_sparse_lcs(&pairs).length, 4);
+        assert_eq!(parallel_sparse_lcs(&pairs).length, 4);
+    }
+
+    #[test]
+    fn lis_reduction_from_paper_figure2() {
+        // The LIS instance of Fig. 2 as an LCS: A = permutation, B = identity.
+        let a: Vec<u8> = vec![7, 3, 6, 8, 1, 4, 2, 5];
+        let b: Vec<u8> = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let pairs = matching_pairs(&a, &b);
+        assert_eq!(pairs.len(), 8); // L = n for a permutation
+        let r = parallel_sparse_lcs(&pairs);
+        assert_eq!(r.length, 3);
+        assert_eq!(r.metrics.rounds, 3);
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_random_strings() {
+        for seed in 0..8 {
+            for &alpha in &[2u64, 4, 16, 64] {
+                let a = pseudo_string(120, seed, alpha);
+                let b = pseudo_string(140, seed + 100, alpha);
+                let want = dense_lcs(&a, &b).length;
+                let pairs = matching_pairs(&a, &b);
+                let seq = sequential_sparse_lcs(&pairs);
+                let par = parallel_sparse_lcs(&pairs);
+                assert_eq!(seq.length, want, "seed {seed} alpha {alpha}");
+                assert_eq!(par.length, want, "seed {seed} alpha {alpha}");
+                assert_eq!(par.pair_values, seq.pair_values, "seed {seed} alpha {alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn matching_pairs_are_canonical_and_complete() {
+        let a = b"ABAB".to_vec();
+        let b = b"BABA".to_vec();
+        let pairs = matching_pairs(&a, &b);
+        assert!(pairs_are_canonically_sorted(&pairs));
+        assert_eq!(pairs.len(), 8); // every A matches 2 As, every B matches 2 Bs
+        for p in &pairs {
+            assert_eq!(a[p.i as usize], b[p.j as usize]);
+        }
+    }
+
+    #[test]
+    fn identical_strings_have_full_lcs() {
+        let a = pseudo_string(200, 1, 8);
+        let pairs = matching_pairs(&a, &a);
+        let r = parallel_sparse_lcs(&pairs);
+        assert_eq!(r.length, 200);
+        assert_eq!(r.metrics.rounds, 200);
+    }
+
+    #[test]
+    fn disjoint_alphabets_have_empty_lcs() {
+        let a = vec![1u8; 50];
+        let b = vec![2u8; 60];
+        let pairs = matching_pairs(&a, &b);
+        assert!(pairs.is_empty());
+        assert_eq!(parallel_sparse_lcs(&pairs).length, 0);
+        assert_eq!(dense_lcs(&a, &b).length, 0);
+    }
+
+    #[test]
+    fn pair_values_match_between_seq_and_par() {
+        let a = pseudo_string(300, 9, 6);
+        let b = pseudo_string(300, 10, 6);
+        let pairs = matching_pairs(&a, &b);
+        let seq = sequential_sparse_lcs(&pairs);
+        let par = parallel_sparse_lcs(&pairs);
+        assert_eq!(seq.pair_values, par.pair_values);
+        // The rounds of the cordon algorithm equal the LCS length.
+        assert_eq!(par.metrics.rounds, par.length as u64);
+    }
+
+    #[test]
+    fn reconstruction_is_a_common_subsequence() {
+        let a = pseudo_string(150, 4, 5);
+        let b = pseudo_string(170, 5, 5);
+        let pairs = matching_pairs(&a, &b);
+        let r = parallel_sparse_lcs(&pairs);
+        let chain = reconstruct_lcs(&pairs, &r.pair_values, r.length);
+        assert_eq!(chain.len(), r.length as usize);
+        for w in chain.windows(2) {
+            assert!(w[0].i < w[1].i && w[0].j < w[1].j);
+        }
+        for p in &chain {
+            assert_eq!(a[p.i as usize], b[p.j as usize]);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<u8> = vec![];
+        let b = b"XYZ".to_vec();
+        assert_eq!(dense_lcs(&empty, &b).length, 0);
+        assert!(matching_pairs(&empty, &b).is_empty());
+        assert_eq!(parallel_sparse_lcs(&[]).length, 0);
+        assert_eq!(sequential_sparse_lcs(&[]).length, 0);
+    }
+
+    #[test]
+    fn works_with_u32_alphabet() {
+        let a: Vec<u32> = (0..100).map(|i| i % 10).collect();
+        let b: Vec<u32> = (0..100).map(|i| (i * 3) % 10).collect();
+        let want = dense_lcs(&a, &b).length;
+        assert_eq!(parallel_lcs_of(&a, &b).length, want);
+    }
+}

@@ -1,0 +1,261 @@
+//! Optimal Binary Search Trees with Knuth's decision-monotonicity speedup
+//! (Sec. 5.5).
+//!
+//! The interval recurrence `D[i][j] = min_{i <= k < j} D[i][k] + D[k+1][j] +
+//! w(i, j)` is the earliest example of decision monotonicity: Knuth showed the
+//! best split point of `[i, j]` lies between the best split points of
+//! `[i, j-1]` and `[i+1, j]`, which cuts the work from `O(n³)` to `O(n²)`.
+//! Under the Cordon framework the `δ`-th frontier is exactly the diagonal of
+//! intervals of length `δ` (every interval depends on its two one-shorter
+//! sub-intervals), so the parallel algorithm processes diagonals as rounds —
+//! an optimal parallelization of Knuth's algorithm with `n - 1` rounds, as the
+//! paper notes (achieving `o(n)` span would need a different recurrence).
+//!
+//! The weight function used here is the classic OBST/OAT one:
+//! `w(i, j) = Σ_{t=i..j} a[t]` for leaf weights `a` (so this module also
+//! doubles as the interval-DP oracle for the optimal *alphabetic* tree, which
+//! is the OBST problem restricted to leaf weights).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pardp_parutils::{Metrics, MetricsCollector};
+use rayon::prelude::*;
+
+/// Result of an OBST computation over `n` leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObstResult {
+    /// Optimal total cost (`Σ weight(leaf) · depth(leaf)` for the alphabetic
+    /// reading).
+    pub cost: u64,
+    /// Work / round counters (`rounds == n - 1` for the parallel algorithm).
+    pub metrics: Metrics,
+}
+
+fn prefix_sums(weights: &[u64]) -> Vec<u64> {
+    let mut p = Vec::with_capacity(weights.len() + 1);
+    p.push(0);
+    for &w in weights {
+        p.push(p.last().unwrap() + w);
+    }
+    p
+}
+
+/// Cubic reference: tries every split point of every interval.
+pub fn naive_obst(weights: &[u64]) -> ObstResult {
+    let n = weights.len();
+    let metrics = MetricsCollector::new();
+    if n <= 1 {
+        return ObstResult {
+            cost: 0,
+            metrics: metrics.snapshot(),
+        };
+    }
+    let pre = prefix_sums(weights);
+    let wsum = |i: usize, j: usize| pre[j + 1] - pre[i];
+    // d[i][j] = optimal cost of merging leaves i..=j into one tree.
+    let mut d = vec![vec![0u64; n]; n];
+    let mut edges = 0u64;
+    for len in 2..=n {
+        for i in 0..=(n - len) {
+            let j = i + len - 1;
+            let mut best = u64::MAX;
+            for k in i..j {
+                edges += 1;
+                best = best.min(d[i][k] + d[k + 1][j]);
+            }
+            d[i][j] = best + wsum(i, j);
+        }
+    }
+    metrics.add_edges(edges);
+    ObstResult {
+        cost: d[0][n - 1],
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// Knuth's `O(n²)` sequential algorithm: the split-point search for `[i, j]`
+/// is restricted to `[root[i][j-1], root[i+1][j]]`.
+pub fn knuth_obst(weights: &[u64]) -> ObstResult {
+    let n = weights.len();
+    let metrics = MetricsCollector::new();
+    if n <= 1 {
+        return ObstResult {
+            cost: 0,
+            metrics: metrics.snapshot(),
+        };
+    }
+    let pre = prefix_sums(weights);
+    let wsum = |i: usize, j: usize| pre[j + 1] - pre[i];
+    let mut d = vec![vec![0u64; n]; n];
+    let mut root = vec![vec![0usize; n]; n];
+    for i in 0..n {
+        root[i][i] = i;
+    }
+    let mut edges = 0u64;
+    for len in 2..=n {
+        for i in 0..=(n - len) {
+            let j = i + len - 1;
+            let lo = root[i][j - 1];
+            let hi = root[i + 1][j].min(j - 1);
+            let mut best = u64::MAX;
+            let mut best_k = lo;
+            for k in lo..=hi {
+                edges += 1;
+                let c = d[i][k] + d[k + 1][j];
+                if c < best {
+                    best = c;
+                    best_k = k;
+                }
+            }
+            d[i][j] = best + wsum(i, j);
+            root[i][j] = best_k;
+        }
+    }
+    metrics.add_edges(edges);
+    ObstResult {
+        cost: d[0][n - 1],
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// Parallel OBST: the Cordon frontier of round `δ` is the diagonal of
+/// intervals of length `δ + 1`, processed in parallel with the Knuth split
+/// bounds (which only reference the two previous diagonals).
+pub fn parallel_obst(weights: &[u64]) -> ObstResult {
+    let n = weights.len();
+    let metrics = MetricsCollector::new();
+    if n <= 1 {
+        return ObstResult {
+            cost: 0,
+            metrics: metrics.snapshot(),
+        };
+    }
+    let pre = prefix_sums(weights);
+    let wsum = |i: usize, j: usize| pre[j + 1] - pre[i];
+    // Flattened upper-triangular storage indexed by (diagonal, start).
+    // d[len-1][i] = cost of interval [i, i+len-1]; root likewise.
+    let mut d: Vec<Vec<u64>> = Vec::with_capacity(n);
+    let mut root: Vec<Vec<usize>> = Vec::with_capacity(n);
+    d.push(vec![0u64; n]);
+    root.push((0..n).collect());
+    for len in 2..=n {
+        let count = n - len + 1;
+        let (prev_roots, shorter_d) = (&root, &d);
+        let row: Vec<(u64, usize, u64)> = (0..count)
+            .into_par_iter()
+            .map(|i| {
+                let j = i + len - 1;
+                // Knuth bounds from the two one-shorter intervals.
+                let lo = prev_roots[len - 2][i];
+                let hi = prev_roots[len - 2][i + 1].min(j - 1).max(lo);
+                let mut best = u64::MAX;
+                let mut best_k = lo;
+                let mut edges = 0u64;
+                for k in lo..=hi {
+                    edges += 1;
+                    let left = shorter_d[k - i][i];
+                    let right = shorter_d[j - k - 1][k + 1];
+                    let c = left + right;
+                    if c < best {
+                        best = c;
+                        best_k = k;
+                    }
+                }
+                (best + wsum(i, j), best_k, edges)
+            })
+            .collect();
+        let mut d_row = Vec::with_capacity(count);
+        let mut r_row = Vec::with_capacity(count);
+        let mut edge_total = 0;
+        for (cost, k, e) in row {
+            d_row.push(cost);
+            r_row.push(k);
+            edge_total += e;
+        }
+        metrics.add_edges(edge_total);
+        metrics.add_round();
+        metrics.add_states(count as u64);
+        d.push(d_row);
+        root.push(r_row);
+    }
+    ObstResult {
+        cost: d[n - 1][0],
+        metrics: metrics.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_weights(n: usize, seed: u64, max_w: u64) -> Vec<u64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % max_w + 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hand_checked_three_leaves() {
+        // Weights 1, 2, 3.  Best alphabetic tree: ((1,2),3):
+        // cost = merge(1,2)=3, then merge(3,3)=6 -> total 9.
+        // Alternative (1,(2,3)): 5 + 6 = 11.  So optimum 9.
+        let w = [1u64, 2, 3];
+        assert_eq!(naive_obst(&w).cost, 9);
+        assert_eq!(knuth_obst(&w).cost, 9);
+        assert_eq!(parallel_obst(&w).cost, 9);
+    }
+
+    #[test]
+    fn all_three_agree_on_random_weights() {
+        for seed in 0..6 {
+            for &n in &[2usize, 3, 5, 17, 40, 80] {
+                let w = pseudo_weights(n, seed, 1000);
+                let a = naive_obst(&w).cost;
+                let b = knuth_obst(&w).cost;
+                let c = parallel_obst(&w).cost;
+                assert_eq!(a, b, "n {n} seed {seed}");
+                assert_eq!(a, c, "n {n} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_equal_n_minus_one() {
+        let w = pseudo_weights(50, 1, 100);
+        let r = parallel_obst(&w);
+        assert_eq!(r.metrics.rounds, 49);
+    }
+
+    #[test]
+    fn knuth_does_quadratic_work() {
+        let n = 300usize;
+        let w = pseudo_weights(n, 2, 1_000_000);
+        let naive = naive_obst(&w);
+        let knuth = knuth_obst(&w);
+        assert_eq!(naive.cost, knuth.cost);
+        // Knuth's split bounds reduce the inner-loop work by a large factor.
+        assert!(knuth.metrics.edges_relaxed * 4 < naive.metrics.edges_relaxed);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(parallel_obst(&[]).cost, 0);
+        assert_eq!(parallel_obst(&[7]).cost, 0);
+        assert_eq!(parallel_obst(&[3, 4]).cost, 7);
+        assert_eq!(naive_obst(&[3, 4]).cost, 7);
+    }
+
+    #[test]
+    fn equal_weights_build_balanced_cost() {
+        // 4 equal weights: balanced tree, every leaf at depth 2 -> cost 8·w.
+        let w = [5u64; 4];
+        assert_eq!(parallel_obst(&w).cost, 40);
+    }
+}

@@ -1,0 +1,147 @@
+//! Work / round instrumentation.
+//!
+//! The paper's central claims are about *work* (number of states and
+//! transitions processed, Sec. 2.2) and *span* (number of cordon rounds times
+//! a polylogarithmic factor).  On machines with few cores, wall-clock speedup
+//! says little, so every algorithm in this workspace reports a [`Metrics`]
+//! snapshot: how many states were relaxed, how many transitions (edges) were
+//! evaluated, how many cordon rounds were executed, and how many states were
+//! touched "wastefully" by prefix doubling.  The benchmark harness prints
+//! these next to the running times so the work-efficiency claims can be
+//! checked directly against the sequential baselines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Immutable snapshot of the counters collected during one algorithm run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Metrics {
+    /// Number of cordon rounds (phase-parallel iterations).  For sequential
+    /// algorithms this is 0.
+    pub rounds: u64,
+    /// Number of states whose DP value was finalized.
+    pub states_finalized: u64,
+    /// Number of transition evaluations (calls to the cost/relax function).
+    pub edges_relaxed: u64,
+    /// Number of states inspected by prefix doubling that turned out not to be
+    /// ready in that round (the "wasted" work the paper amortizes).
+    pub wasted_states: u64,
+    /// Number of binary-search probes performed in best-decision structures.
+    pub probes: u64,
+}
+
+impl Metrics {
+    /// Total "work proxy": edges relaxed plus probes.  Useful for comparing a
+    /// parallel algorithm against its sequential counterpart irrespective of
+    /// clock noise.
+    pub fn work_proxy(&self) -> u64 {
+        self.edges_relaxed + self.probes
+    }
+}
+
+/// Thread-safe collector used while an algorithm runs.
+///
+/// All counters are relaxed atomics: they are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    rounds: AtomicU64,
+    states_finalized: AtomicU64,
+    edges_relaxed: AtomicU64,
+    wasted_states: AtomicU64,
+    probes: AtomicU64,
+}
+
+impl MetricsCollector {
+    /// Create a collector with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one cordon round.
+    #[inline]
+    pub fn add_round(&self) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` finalized states.
+    #[inline]
+    pub fn add_states(&self, n: u64) {
+        self.states_finalized.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` evaluated transitions.
+    #[inline]
+    pub fn add_edges(&self, n: u64) {
+        self.edges_relaxed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` states visited by prefix doubling that were not finalized in
+    /// that round.
+    #[inline]
+    pub fn add_wasted(&self, n: u64) {
+        self.wasted_states.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` binary-search probes.
+    #[inline]
+    pub fn add_probes(&self, n: u64) {
+        self.probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot the current counter values.
+    pub fn snapshot(&self) -> Metrics {
+        Metrics {
+            rounds: self.rounds.load(Ordering::Relaxed),
+            states_finalized: self.states_finalized.load(Ordering::Relaxed),
+            edges_relaxed: self.edges_relaxed.load(Ordering::Relaxed),
+            wasted_states: self.wasted_states.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = MetricsCollector::new();
+        c.add_round();
+        c.add_round();
+        c.add_states(10);
+        c.add_edges(5);
+        c.add_edges(7);
+        c.add_wasted(3);
+        c.add_probes(11);
+        let m = c.snapshot();
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.states_finalized, 10);
+        assert_eq!(m.edges_relaxed, 12);
+        assert_eq!(m.wasted_states, 3);
+        assert_eq!(m.probes, 11);
+        assert_eq!(m.work_proxy(), 23);
+    }
+
+    #[test]
+    fn default_snapshot_is_zero() {
+        let c = MetricsCollector::new();
+        assert_eq!(c.snapshot(), Metrics::default());
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let c = Arc::new(MetricsCollector::new());
+        rayon::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move |_| {
+                    for _ in 0..1000 {
+                        c.add_edges(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().edges_relaxed, 8000);
+    }
+}

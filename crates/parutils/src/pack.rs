@@ -1,0 +1,72 @@
+//! Parallel pack / filter (ParlayLib `pack`, `filter`).
+
+use crate::par::SEQ_CUTOFF;
+use rayon::prelude::*;
+
+/// Keep the elements of `items` whose predicate holds, preserving order.
+pub fn par_filter<T, P>(items: &[T], pred: P) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    P: Fn(&T) -> bool + Sync,
+{
+    if items.len() < SEQ_CUTOFF {
+        items.iter().filter(|x| pred(x)).cloned().collect()
+    } else {
+        items
+            .par_iter()
+            .filter(|x| pred(x))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Return the indices `i` (in increasing order) for which `flag(i)` holds.
+///
+/// This is the `pack_index` primitive the cordon algorithms use to turn a
+/// boolean "is this state on the cordon?" array into a frontier list.
+pub fn par_pack_index<P>(n: usize, flag: P) -> Vec<usize>
+where
+    P: Fn(usize) -> bool + Sync,
+{
+    if n < SEQ_CUTOFF {
+        (0..n).filter(|&i| flag(i)).collect()
+    } else {
+        (0..n).into_par_iter().filter(|&i| flag(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_preserves_order_small() {
+        let v: Vec<u32> = (0..100).collect();
+        let got = par_filter(&v, |x| x % 7 == 0);
+        let want: Vec<u32> = (0..100).filter(|x| x % 7 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_preserves_order_large() {
+        let v: Vec<u32> = (0..80_000).collect();
+        let got = par_filter(&v, |x| x % 3 == 1);
+        let want: Vec<u32> = (0..80_000).filter(|x| x % 3 == 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_index_matches_filter() {
+        let flags: Vec<bool> = (0..50_000).map(|i| (i * 7919) % 11 == 0).collect();
+        let got = par_pack_index(flags.len(), |i| flags[i]);
+        let want: Vec<usize> = (0..flags.len()).filter(|&i| flags[i]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_index_empty_and_all() {
+        assert!(par_pack_index(0, |_| true).is_empty());
+        assert_eq!(par_pack_index(5, |_| true), vec![0, 1, 2, 3, 4]);
+        assert!(par_pack_index(5, |_| false).is_empty());
+    }
+}

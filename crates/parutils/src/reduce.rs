@@ -1,0 +1,124 @@
+//! Parallel reductions (ParlayLib `reduce` / `min_element`).
+
+use crate::par::SEQ_CUTOFF;
+use rayon::prelude::*;
+
+/// Reduce `items` with the associative operation `op` and identity `id`.
+///
+/// `op` must be associative; the reduction order is unspecified.
+pub fn par_reduce<T, Op>(items: &[T], id: T, op: Op) -> T
+where
+    T: Clone + Send + Sync,
+    Op: Fn(T, T) -> T + Sync + Send,
+{
+    if items.len() < SEQ_CUTOFF {
+        items.iter().cloned().fold(id, &op)
+    } else {
+        items
+            .par_iter()
+            .cloned()
+            .reduce(|| id.clone(), &op)
+    }
+}
+
+/// Minimum value of a non-empty slice (by `Ord`), computed in parallel.
+pub fn par_min_value<T: Ord + Copy + Send + Sync>(items: &[T]) -> Option<T> {
+    if items.is_empty() {
+        return None;
+    }
+    if items.len() < SEQ_CUTOFF {
+        items.iter().copied().min()
+    } else {
+        items.par_iter().copied().min()
+    }
+}
+
+/// Index of the minimum element according to `key`, breaking ties towards the
+/// smallest index (matching the deterministic behaviour of the sequential
+/// algorithms we parallelize: the *leftmost* best decision is chosen).
+pub fn par_min_index<T, K, Key>(items: &[T], key: Key) -> Option<usize>
+where
+    T: Sync,
+    K: Ord + Send,
+    Key: Fn(&T) -> K + Sync,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let pick = |a: (usize, K), b: (usize, K)| -> (usize, K) {
+        // Smaller key wins; ties go to the smaller index so the result matches
+        // a left-to-right sequential argmin.
+        match b.1.cmp(&a.1) {
+            std::cmp::Ordering::Less => b,
+            std::cmp::Ordering::Greater => a,
+            std::cmp::Ordering::Equal => {
+                if b.0 < a.0 {
+                    b
+                } else {
+                    a
+                }
+            }
+        }
+    };
+    if items.len() < SEQ_CUTOFF {
+        let mut best = (0usize, key(&items[0]));
+        for (i, item) in items.iter().enumerate().skip(1) {
+            best = pick(best, (i, key(item)));
+        }
+        Some(best.0)
+    } else {
+        items
+            .par_iter()
+            .enumerate()
+            .map(|(i, item)| (i, key(item)))
+            .reduce_with(pick)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_sums_small_and_large() {
+        let small: Vec<u64> = (0..100).collect();
+        assert_eq!(par_reduce(&small, 0, |a, b| a + b), 4950);
+        let large: Vec<u64> = (0..100_000).collect();
+        assert_eq!(
+            par_reduce(&large, 0, |a, b| a + b),
+            large.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn min_value_matches_iterator_min() {
+        let v: Vec<i64> = (0..50_000).map(|i| ((i * 2654435761u64 as i64) % 9973) - 500).collect();
+        assert_eq!(par_min_value(&v), v.iter().copied().min());
+        let empty: Vec<i64> = vec![];
+        assert_eq!(par_min_value(&empty), None);
+    }
+
+    #[test]
+    fn min_index_breaks_ties_leftmost() {
+        let v = vec![5, 3, 9, 3, 7];
+        assert_eq!(par_min_index(&v, |x| *x), Some(1));
+    }
+
+    #[test]
+    fn min_index_large_matches_sequential() {
+        let v: Vec<u64> = (0..60_000).map(|i| (i * 48271) % 30011).collect();
+        let seq = v
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
+            .map(|(i, _)| i);
+        assert_eq!(par_min_index(&v, |x| *x), seq);
+    }
+
+    #[test]
+    fn min_index_empty_is_none() {
+        let v: Vec<u8> = vec![];
+        assert_eq!(par_min_index(&v, |x| *x), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! Parallel scans (prefix sums / prefix minima).
+//!
+//! The cordon constructions for LIS, LCS and GAP all reduce "which states are
+//! on the cordon" to a *prefix-minimum* computation (Sec. 3 and Sec. 5.2 of
+//! the paper), so an efficient parallel scan is a first-class substrate here.
+//! The implementation is the textbook two-pass blocked scan: per-block
+//! reductions, a (small) sequential scan over the block summaries, then a
+//! parallel sweep that re-traverses each block with its carried prefix.
+
+use crate::par::SEQ_CUTOFF;
+use rayon::prelude::*;
+
+/// Block size used by the two-pass scan.
+const SCAN_BLOCK: usize = 4096;
+
+/// Inclusive scan: `out[i] = op(id, items[0], ..., items[i])`.
+pub fn par_scan_inclusive<T, Op>(items: &[T], id: T, op: Op) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    Op: Fn(T, T) -> T + Sync + Send,
+{
+    scan_impl(items, id, op, true)
+}
+
+/// Exclusive scan: `out[i] = op(id, items[0], ..., items[i-1])`, `out[0] = id`.
+pub fn par_scan_exclusive<T, Op>(items: &[T], id: T, op: Op) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    Op: Fn(T, T) -> T + Sync + Send,
+{
+    scan_impl(items, id, op, false)
+}
+
+/// Inclusive prefix minimum: `out[i] = min(items[0..=i])`.
+pub fn par_prefix_min_inclusive<T: Ord + Copy + Send + Sync>(items: &[T]) -> Vec<T> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let id = items[0];
+    par_scan_inclusive(items, id, |a, b| a.min(b))
+}
+
+fn scan_impl<T, Op>(items: &[T], id: T, op: Op, inclusive: bool) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    Op: Fn(T, T) -> T + Sync + Send,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n < SEQ_CUTOFF {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = id;
+        for &x in items {
+            if inclusive {
+                acc = op(acc, x);
+                out.push(acc);
+            } else {
+                out.push(acc);
+                acc = op(acc, x);
+            }
+        }
+        return out;
+    }
+
+    // Pass 1: per-block reductions.
+    let block_sums: Vec<T> = items
+        .par_chunks(SCAN_BLOCK)
+        .map(|chunk| chunk.iter().fold(id, |acc, &x| op(acc, x)))
+        .collect();
+
+    // Sequential scan over the (short) block summary array.
+    let mut block_prefix = Vec::with_capacity(block_sums.len());
+    let mut acc = id;
+    for &s in &block_sums {
+        block_prefix.push(acc);
+        acc = op(acc, s);
+    }
+
+    // Pass 2: sweep each block with its carried prefix.
+    let mut out = vec![id; n];
+    out.par_chunks_mut(SCAN_BLOCK)
+        .zip(items.par_chunks(SCAN_BLOCK))
+        .zip(block_prefix.par_iter())
+        .for_each(|((out_chunk, in_chunk), &carry)| {
+            let mut acc = carry;
+            for (o, &x) in out_chunk.iter_mut().zip(in_chunk.iter()) {
+                if inclusive {
+                    acc = op(acc, x);
+                    *o = acc;
+                } else {
+                    *o = acc;
+                    acc = op(acc, x);
+                }
+            }
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_inclusive(items: &[u64]) -> Vec<u64> {
+        let mut acc = 0;
+        items
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inclusive_sum_small() {
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(par_scan_inclusive(&v, 0, |a, b| a + b), seq_inclusive(&v));
+    }
+
+    #[test]
+    fn inclusive_sum_large() {
+        let v: Vec<u64> = (0..50_000).map(|i| (i * 31) % 97).collect();
+        assert_eq!(par_scan_inclusive(&v, 0, |a, b| a + b), seq_inclusive(&v));
+    }
+
+    #[test]
+    fn exclusive_sum_matches_shifted_inclusive() {
+        let v: Vec<u64> = (0..30_000).map(|i| i % 13).collect();
+        let inc = par_scan_inclusive(&v, 0, |a, b| a + b);
+        let exc = par_scan_exclusive(&v, 0, |a, b| a + b);
+        assert_eq!(exc[0], 0);
+        for i in 1..v.len() {
+            assert_eq!(exc[i], inc[i - 1]);
+        }
+    }
+
+    #[test]
+    fn prefix_min_matches_sequential() {
+        let v: Vec<i64> = (0..40_000)
+            .map(|i| ((i as i64 * 48271) % 10007) - 5000)
+            .collect();
+        let got = par_prefix_min_inclusive(&v);
+        let mut acc = i64::MAX;
+        for (i, &x) in v.iter().enumerate() {
+            acc = acc.min(x);
+            assert_eq!(got[i], acc);
+        }
+    }
+
+    #[test]
+    fn empty_scans() {
+        let v: Vec<u64> = vec![];
+        assert!(par_scan_inclusive(&v, 0, |a, b| a + b).is_empty());
+        assert!(par_scan_exclusive(&v, 0, |a, b| a + b).is_empty());
+        assert!(par_prefix_min_inclusive(&v).is_empty());
+    }
+
+    #[test]
+    fn singleton_scan() {
+        let v = vec![42u64];
+        assert_eq!(par_scan_inclusive(&v, 0, |a, b| a + b), vec![42]);
+        assert_eq!(par_scan_exclusive(&v, 0, |a, b| a + b), vec![0]);
+    }
+}

@@ -1,0 +1,373 @@
+//! Tournament (winner) tree with batched prefix-minimum extraction.
+//!
+//! This is the data structure behind the parallel LIS and sparse-LCS cordon
+//! algorithms (Sec. 3 of the paper, following Gu et al. [47]).  The tree is
+//! built once over the whole input sequence; each cordon round extracts — and
+//! removes — every *prefix-minimum record*, i.e. every still-active element
+//! that is not blocked by any smaller active element to its left.  Extracting
+//! `l` records out of `L` remaining elements costs `O(l · log(L/l))` work and
+//! `O(log L)` span, which is what gives the `O(n log k)` / `O(L log n)` total
+//! work bounds of Theorems 3.1 and 3.2.
+//!
+//! The tree is represented as a pointer-based binary tree so that the two
+//! children of a node can be traversed by disjoint `&mut` borrows in parallel
+//! (`rayon::join`); the right child's traversal only needs the *pre-round*
+//! minimum of the left subtree, which is available in `O(1)` before either
+//! child is descended.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pardp_parutils::maybe_join;
+
+/// Whether an earlier element with an *equal* key blocks a later element from
+/// being a prefix-minimum record.
+///
+/// * For the classic strictly-increasing LIS, a decision `j` relaxes `i` only
+///   when `A[j] < A[i]`, so ties do **not** block: use [`TieRule::TiesAreRecords`].
+/// * For the non-decreasing variant (`A[j] <= A[i]` relaxes), ties do block:
+///   use [`TieRule::TiesBlocked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieRule {
+    /// An element equal to the running minimum is itself a record.
+    TiesAreRecords,
+    /// An element equal to the running minimum is blocked (not a record).
+    TiesBlocked,
+}
+
+impl TieRule {
+    #[inline]
+    fn is_record<K: Ord>(self, key: K, carry: Option<K>) -> bool {
+        match carry {
+            None => true,
+            Some(c) => match self {
+                TieRule::TiesAreRecords => key <= c,
+                TieRule::TiesBlocked => key < c,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node<K> {
+    Leaf {
+        pos: usize,
+        key: Option<K>,
+    },
+    Internal {
+        min: Option<K>,
+        size: usize,
+        left: Box<Node<K>>,
+        right: Box<Node<K>>,
+    },
+}
+
+impl<K: Ord + Copy + Send + Sync> Node<K> {
+    fn build(keys: &[K], offset: usize) -> Self {
+        debug_assert!(!keys.is_empty());
+        if keys.len() == 1 {
+            return Node::Leaf {
+                pos: offset,
+                key: Some(keys[0]),
+            };
+        }
+        let mid = keys.len() / 2;
+        let (l, r) = keys.split_at(mid);
+        let (left, right) = maybe_join(
+            keys.len(),
+            || Node::build(l, offset),
+            || Node::build(r, offset + mid),
+        );
+        let min = min_opt(left.min(), right.min());
+        Node::Internal {
+            min,
+            size: keys.len(),
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    #[inline]
+    fn min(&self) -> Option<K> {
+        match self {
+            Node::Leaf { key, .. } => *key,
+            Node::Internal { min, .. } => *min,
+        }
+    }
+
+    /// Extract every prefix-minimum record in this subtree given that the
+    /// minimum active key strictly to the left of the subtree is `carry`.
+    /// Extracted leaves are deactivated and subtree minima are repaired on the
+    /// way back up.  Returns the records as `(position, key)` pairs in
+    /// left-to-right order.
+    fn extract(&mut self, carry: Option<K>, rule: TieRule) -> Vec<(usize, K)> {
+        match self {
+            Node::Leaf { pos, key } => {
+                if let Some(k) = *key {
+                    if rule.is_record(k, carry) {
+                        *key = None;
+                        return vec![(*pos, k)];
+                    }
+                }
+                Vec::new()
+            }
+            Node::Internal {
+                min,
+                size,
+                left,
+                right,
+            } => {
+                // Prune: if even the smallest key in this subtree is not a
+                // record w.r.t. `carry`, nothing inside can be.
+                match *min {
+                    None => return Vec::new(),
+                    Some(m) => {
+                        if !rule.is_record(m, carry) {
+                            return Vec::new();
+                        }
+                    }
+                }
+                // The right subtree's carry uses the *pre-extraction* minimum
+                // of the left subtree: elements removed from the left in this
+                // very round were active when the round started, and the
+                // cordon is defined against the state at the start of the
+                // round (all extracted elements share the same DP value).
+                let left_min_before = left.min();
+                let right_carry = min_opt(carry, left_min_before);
+                let (mut lres, rres) = maybe_join(
+                    *size,
+                    || left.extract(carry, rule),
+                    || right.extract(right_carry, rule),
+                );
+                *min = min_opt(left.min(), right.min());
+                lres.extend(rres);
+                lres
+            }
+        }
+    }
+
+    fn active_count(&self) -> usize {
+        match self {
+            Node::Leaf { key, .. } => usize::from(key.is_some()),
+            Node::Internal { left, right, .. } => left.active_count() + right.active_count(),
+        }
+    }
+}
+
+#[inline]
+fn min_opt<K: Ord>(a: Option<K>, b: Option<K>) -> Option<K> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(a), Some(b)) => Some(if a <= b { a } else { b }),
+    }
+}
+
+/// Tournament tree over a fixed sequence of keys.
+#[derive(Debug, Clone)]
+pub struct TournamentTree<K> {
+    root: Option<Node<K>>,
+    len: usize,
+    rule: TieRule,
+}
+
+impl<K: Ord + Copy + Send + Sync> TournamentTree<K> {
+    /// Build the tree over `keys` (positions are `0..keys.len()`), with the
+    /// given tie rule.  `O(n)` work, `O(log n)` span.
+    pub fn new(keys: &[K], rule: TieRule) -> Self {
+        let root = if keys.is_empty() {
+            None
+        } else {
+            Some(Node::build(keys, 0))
+        };
+        TournamentTree {
+            root,
+            len: keys.len(),
+            rule,
+        }
+    }
+
+    /// Number of positions the tree was built over.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree was built over an empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of still-active (not yet extracted) elements.  `O(n)`; intended
+    /// for tests and assertions, not hot loops.
+    pub fn active_count(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::active_count)
+    }
+
+    /// Minimum key among the active elements, if any.
+    pub fn min_active(&self) -> Option<K> {
+        self.root.as_ref().and_then(Node::min)
+    }
+
+    /// Extract and deactivate every prefix-minimum record, returning them as
+    /// `(position, key)` pairs in increasing position order.
+    ///
+    /// A record is an active element with no active element to its left whose
+    /// key blocks it under the tree's [`TieRule`].  Returns an empty vector
+    /// once all elements have been extracted.
+    pub fn extract_prefix_minima(&mut self) -> Vec<(usize, K)> {
+        match &mut self.root {
+            None => Vec::new(),
+            Some(root) => root.extract(None, self.rule),
+        }
+    }
+}
+
+/// Reference (sequential, quadratic-free) computation of the prefix-minimum
+/// records of one round over `keys`, used as an oracle in tests.
+pub fn reference_prefix_minima<K: Ord + Copy>(
+    keys: &[(usize, K)],
+    rule: TieRule,
+) -> Vec<(usize, K)> {
+    let mut out = Vec::new();
+    let mut carry: Option<K> = None;
+    for &(pos, k) in keys {
+        if rule.is_record(k, carry) {
+            out.push((pos, k));
+        }
+        carry = min_opt(carry, Some(k));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simulate_rounds(keys: &[u64], rule: TieRule) -> Vec<Vec<(usize, u64)>> {
+        // Oracle: repeatedly take prefix-min records from the remaining list.
+        let mut remaining: Vec<(usize, u64)> = keys.iter().copied().enumerate().collect();
+        let mut rounds = Vec::new();
+        while !remaining.is_empty() {
+            let records = reference_prefix_minima(&remaining, rule);
+            let picked: std::collections::HashSet<usize> =
+                records.iter().map(|&(p, _)| p).collect();
+            remaining.retain(|&(p, _)| !picked.contains(&p));
+            rounds.push(records);
+        }
+        rounds
+    }
+
+    fn check_against_oracle(keys: &[u64], rule: TieRule) {
+        let mut tree = TournamentTree::new(keys, rule);
+        let oracle = simulate_rounds(keys, rule);
+        for (round, want) in oracle.iter().enumerate() {
+            let got = tree.extract_prefix_minima();
+            assert_eq!(&got, want, "round {round} mismatch for {keys:?}");
+        }
+        assert!(tree.extract_prefix_minima().is_empty());
+        assert_eq!(tree.active_count(), 0);
+    }
+
+    #[test]
+    fn example_from_paper_figure2() {
+        // Input sequence of Fig. 2(a): 7 3 6 8 1 4 2 5.
+        let keys = [7u64, 3, 6, 8, 1, 4, 2, 5];
+        let mut tree = TournamentTree::new(&keys, TieRule::TiesAreRecords);
+        // Round 1: prefix minima are 7, 3, 1 (positions 0, 1, 4).
+        assert_eq!(
+            tree.extract_prefix_minima(),
+            vec![(0, 7), (1, 3), (4, 1)]
+        );
+        // Round 2: remaining 6 8 4 2 5 -> prefix minima 6, 4, 2.
+        assert_eq!(
+            tree.extract_prefix_minima(),
+            vec![(2, 6), (5, 4), (6, 2)]
+        );
+        // Round 3: remaining 8 5 -> prefix minima 8, 5.
+        assert_eq!(tree.extract_prefix_minima(), vec![(3, 8), (7, 5)]);
+        assert!(tree.extract_prefix_minima().is_empty());
+    }
+
+    #[test]
+    fn rounds_equal_lis_length() {
+        // The number of extraction rounds equals the LIS length of the input
+        // (Theorem 3.1's span argument).
+        let keys = [7u64, 3, 6, 8, 1, 4, 2, 5];
+        let rounds = simulate_rounds(&keys, TieRule::TiesAreRecords).len();
+        assert_eq!(rounds, 3); // LIS of the Fig. 2 sequence is 3 (e.g. 3 4 5).
+    }
+
+    #[test]
+    fn increasing_input_one_round() {
+        let keys: Vec<u64> = (0..1000).collect();
+        let mut tree = TournamentTree::new(&keys, TieRule::TiesAreRecords);
+        let r1 = tree.extract_prefix_minima();
+        assert_eq!(r1.len(), 1, "only the first element is a record");
+        // Decreasing input: everything is a record in round one.
+        let keys: Vec<u64> = (0..1000).rev().collect();
+        let mut tree = TournamentTree::new(&keys, TieRule::TiesAreRecords);
+        assert_eq!(tree.extract_prefix_minima().len(), 1000);
+        assert!(tree.extract_prefix_minima().is_empty());
+    }
+
+    #[test]
+    fn ties_rules_differ() {
+        let keys = [5u64, 5, 5];
+        let mut with_ties = TournamentTree::new(&keys, TieRule::TiesAreRecords);
+        assert_eq!(with_ties.extract_prefix_minima().len(), 3);
+        let mut no_ties = TournamentTree::new(&keys, TieRule::TiesBlocked);
+        assert_eq!(no_ties.extract_prefix_minima().len(), 1);
+        assert_eq!(no_ties.extract_prefix_minima().len(), 1);
+        assert_eq!(no_ties.extract_prefix_minima().len(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut t: TournamentTree<u64> = TournamentTree::new(&[], TieRule::TiesAreRecords);
+        assert!(t.is_empty());
+        assert!(t.extract_prefix_minima().is_empty());
+        let mut t = TournamentTree::new(&[42u64], TieRule::TiesAreRecords);
+        assert_eq!(t.extract_prefix_minima(), vec![(0, 42)]);
+        assert!(t.extract_prefix_minima().is_empty());
+    }
+
+    #[test]
+    fn pseudo_random_inputs_match_oracle() {
+        // Deterministic pseudo-random sequences of several sizes.
+        for &n in &[1usize, 2, 3, 10, 63, 64, 65, 257, 1000, 5000] {
+            let keys: Vec<u64> = (0..n as u64).map(|i| (i * 48271 + 11) % 997).collect();
+            check_against_oracle(&keys, TieRule::TiesAreRecords);
+            check_against_oracle(&keys, TieRule::TiesBlocked);
+        }
+    }
+
+    #[test]
+    fn min_active_tracks_extractions() {
+        let keys = [9u64, 2, 7, 4];
+        let mut tree = TournamentTree::new(&keys, TieRule::TiesAreRecords);
+        assert_eq!(tree.min_active(), Some(2));
+        tree.extract_prefix_minima(); // removes 9 and 2
+        assert_eq!(tree.min_active(), Some(4));
+        tree.extract_prefix_minima(); // removes 7 and 4
+        assert_eq!(tree.min_active(), None);
+    }
+
+    #[test]
+    fn large_input_fully_drains() {
+        let n = 100_000usize;
+        let keys: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let mut tree = TournamentTree::new(&keys, TieRule::TiesAreRecords);
+        let mut total = 0usize;
+        let mut rounds = 0usize;
+        loop {
+            let r = tree.extract_prefix_minima();
+            if r.is_empty() {
+                break;
+            }
+            total += r.len();
+            rounds += 1;
+            assert!(rounds <= n, "cannot need more rounds than elements");
+        }
+        assert_eq!(total, n);
+        assert_eq!(tree.active_count(), 0);
+    }
+}

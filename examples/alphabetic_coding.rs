@@ -1,0 +1,48 @@
+//! Optimal alphabetic codes: build an order-preserving prefix code for a
+//! symbol alphabet from observed frequencies (the OAT application of
+//! Sec. 5.1), and compare its cost with the entropy lower bound and with a
+//! balanced (depth-⌈log n⌉) code.
+//!
+//! Run with `cargo run --release --example alphabetic_coding -- [n]`.
+
+use parallel_dp::prelude::*;
+use parallel_dp::workloads;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let freqs = workloads::skewed_weights(n, 1 << 16, 8, 3);
+    let total: u64 = freqs.iter().sum();
+
+    let oat = garsia_wachs(&freqs);
+    assert_eq!(oat.cost, interval_dp_oat(&freqs), "Garsia–Wachs must be optimal");
+
+    let balanced_depth = (n as f64).log2().ceil() as u64;
+    let balanced_cost = total * balanced_depth;
+    let entropy: f64 = freqs
+        .iter()
+        .map(|&f| {
+            let p = f as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum();
+
+    println!("alphabet size {n}, total frequency {total}");
+    println!(
+        "optimal alphabetic code: {:.4} bits/symbol (tree height {}, bound {})",
+        oat.cost as f64 / total as f64,
+        oat.height,
+        oat_height_bound(&freqs)
+    );
+    println!(
+        "balanced code:           {:.4} bits/symbol",
+        balanced_cost as f64 / total as f64
+    );
+    println!("entropy lower bound:     {entropy:.4} bits/symbol");
+    println!(
+        "first five code lengths: {:?}",
+        &oat.depths[..5.min(oat.depths.len())]
+    );
+}

@@ -1,0 +1,57 @@
+//! Paragraph line breaking (Knuth–Plass) as a convex GLWS instance — one of
+//! the classic applications of decision monotonicity cited in Sec. 4.
+//!
+//! States are word boundaries; a transition j -> i means "put words j+1..=i on
+//! one line" and costs the cubed deviation from the target line width.  The
+//! convex cost gives decision monotonicity, so the parallel cordon algorithm
+//! applies directly.
+//!
+//! Run with `cargo run --release --example line_breaking`.
+
+use parallel_dp::glws::ClosureCost;
+use parallel_dp::prelude::*;
+
+const TEXT: &str = "the idea of dynamic programming proposed by bellman in the fifties is one \
+of the most important algorithmic techniques and is covered in classic textbooks and basic \
+algorithm classes and is widely used in research and industry across many different fields";
+
+fn main() {
+    let width: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(38);
+    let words: Vec<&str> = TEXT.split_whitespace().collect();
+    let n = words.len();
+    // Prefix sums of word lengths so a line's width is O(1) to evaluate.
+    let mut pre = vec![0i64; n + 1];
+    for (i, w) in words.iter().enumerate() {
+        pre[i + 1] = pre[i] + w.len() as i64;
+    }
+    let line_len = move |j: usize, i: usize| pre[i] - pre[j] + (i - j - 1).max(0) as i64;
+    // Badness: cubed deviation from the target width (convex in the line span).
+    let badness = move |j: usize, i: usize| {
+        let dev = (line_len(j, i) - width).abs();
+        dev * dev * dev
+    };
+    let problem = ClosureCost::new(n, 0, badness, |d, _| d);
+
+    let par = parallel_convex_glws(&problem);
+    let seq = sequential_convex_glws(&problem);
+    assert_eq!(par.d, seq.d);
+
+    // Recover the break points from the best-decision chain.
+    let mut breaks = vec![n];
+    let mut cur = n;
+    while cur != 0 {
+        cur = par.best[cur];
+        breaks.push(cur);
+    }
+    breaks.reverse();
+
+    println!("target width {width}, total badness {}", par.d[n]);
+    println!("lines ({} cordon rounds):", par.metrics.rounds);
+    for pair in breaks.windows(2) {
+        let line = words[pair[0]..pair[1]].join(" ");
+        println!("  [{:>2}] {line}", line.len());
+    }
+}

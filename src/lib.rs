@@ -1,0 +1,69 @@
+//! # parallel-dp
+//!
+//! A Rust reproduction of *"Parallel and (Nearly) Work-Efficient Dynamic
+//! Programming"* (Ding, Gu, Sun — SPAA 2024): the **Cordon Algorithm**
+//! framework for phase-parallel dynamic programming, and its instantiations
+//! for LIS, sparse LCS, convex/concave generalized least-weight subsequence
+//! (GLWS), k-GLWS, GAP edit distance, optimal alphabetic trees, Tree-GLWS and
+//! OBST — each with a naive oracle, the optimized sequential algorithm the
+//! paper parallelizes, and the parallel cordon algorithm, all instrumented
+//! with work/round counters.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use parallel_dp::prelude::*;
+//!
+//! // Parallel LIS (Theorem 3.1): rounds == LIS length.
+//! let a = vec![7i64, 3, 6, 8, 1, 4, 2, 5];
+//! let lis = parallel_lis(&a);
+//! assert_eq!(lis.length, 3);
+//!
+//! // Parallel convex GLWS (Algorithm 1) on a post-office instance.
+//! let post = PostOfficeProblem::new(vec![0, 1, 10, 11, 20, 21], 4);
+//! let glws = parallel_convex_glws(&post);
+//! assert_eq!(glws.d[6], 15);                  // three offices, cost 5 each
+//! assert_eq!(glws.metrics.rounds, 3);          // rounds == #offices (Lemma 4.5)
+//! ```
+//!
+//! The individual crates are re-exported as modules below; `prelude` pulls in
+//! the most common entry points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pardp_core as core;
+pub use pardp_gap as gap;
+pub use pardp_glws as glws;
+pub use pardp_lcs as lcs;
+pub use pardp_lis as lis;
+pub use pardp_oat as oat;
+pub use pardp_obst as obst;
+pub use pardp_parutils as parutils;
+pub use pardp_tournament as tournament;
+pub use pardp_treedp as treedp;
+pub use pardp_workloads as workloads;
+
+/// The most commonly used types and functions, re-exported flat.
+pub mod prelude {
+    pub use pardp_core::{prefix_doubling_cordon, run_phase_parallel, PhaseParallel};
+    pub use pardp_gap::{convex_gap_instance, naive_gap, parallel_gap, sequential_gap, GapInstance};
+    pub use pardp_glws::{
+        naive_glws, naive_kglws, parallel_concave_glws, parallel_convex_glws, parallel_kglws,
+        sequential_concave_glws, sequential_convex_glws, ConcaveGapCost, ConvexGapCost,
+        GlwsProblem, GlwsResult, LinearGapCost, PostOfficeProblem,
+    };
+    pub use pardp_lcs::{
+        dense_lcs, matching_pairs, parallel_lcs_of, parallel_sparse_lcs, sequential_sparse_lcs,
+        LcsResult, MatchPair,
+    };
+    pub use pardp_lis::{naive_lis, parallel_lis, sequential_lis, LisResult};
+    pub use pardp_oat::{garsia_wachs, interval_dp_oat, oat_height_bound, OatResult};
+    pub use pardp_obst::{knuth_obst, naive_obst, parallel_obst, ObstResult};
+    pub use pardp_parutils::{with_threads, Metrics, MetricsCollector};
+    pub use pardp_tournament::{TieRule, TournamentTree};
+    pub use pardp_treedp::{
+        naive_tree_glws, parallel_tree_glws, sequential_tree_glws, TreeGlwsInstance,
+    };
+    pub use pardp_workloads as workloads;
+}
