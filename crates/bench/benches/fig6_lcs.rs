@@ -2,9 +2,9 @@
 //! Hunt–Szymanski, swept over the LCS length `k`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use pardp_lcs::{parallel_sparse_lcs, sequential_sparse_lcs, MatchPair};
 use pardp_workloads::lcs_pairs_with;
+use std::time::Duration;
 
 fn bench_fig6(c: &mut Criterion) {
     let l = 200_000usize;

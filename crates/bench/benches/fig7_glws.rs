@@ -2,9 +2,9 @@
 //! (Alg. 1) vs sequential Galil–Park vs the naive quadratic DP.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use pardp_glws::{naive_glws, parallel_convex_glws, sequential_convex_glws, PostOfficeProblem};
 use pardp_workloads::post_office_instance;
+use std::time::Duration;
 
 fn bench_fig7(c: &mut Criterion) {
     let n = 200_000usize;
@@ -18,9 +18,11 @@ fn bench_fig7(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parallel_cordon", k), &problem, |b, p| {
             b.iter(|| parallel_convex_glws(p))
         });
-        group.bench_with_input(BenchmarkId::new("sequential_galil_park", k), &problem, |b, p| {
-            b.iter(|| sequential_convex_glws(p))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential_galil_park", k),
+            &problem,
+            |b, p| b.iter(|| sequential_convex_glws(p)),
+        );
     }
     // The quadratic baseline only at a size where it terminates quickly.
     let small = post_office_instance(4_000, 50, 7);

@@ -3,9 +3,9 @@
 //! cubic naive recurrence.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use pardp_gap::{convex_gap_instance, naive_gap, parallel_gap, sequential_gap};
 use pardp_workloads::gap_strings;
+use std::time::Duration;
 
 fn bench_gap(c: &mut Criterion) {
     let mut group = c.benchmark_group("gap");
@@ -18,9 +18,11 @@ fn bench_gap(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parallel_frontier", n), &inst, |bn, i| {
             bn.iter(|| parallel_gap(i))
         });
-        group.bench_with_input(BenchmarkId::new("sequential_glws_rows", n), &inst, |bn, i| {
-            bn.iter(|| sequential_gap(i))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential_glws_rows", n),
+            &inst,
+            |bn, i| bn.iter(|| sequential_gap(i)),
+        );
         if n <= 200 {
             group.bench_with_input(BenchmarkId::new("naive_cubic", n), &inst, |bn, i| {
                 bn.iter(|| naive_gap(i))

@@ -2,11 +2,11 @@
 //! OBST with Knuth's speedup (Sec. 5.5) and Tree-GLWS (Sec. 5.3).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use pardp_glws::{naive_kglws, parallel_kglws, PostOfficeProblem};
 use pardp_obst::{knuth_obst, naive_obst, parallel_obst};
 use pardp_treedp::{naive_tree_glws, parallel_tree_glws, TreeGlwsInstance};
 use pardp_workloads::{positive_weights, post_office_instance, random_tree, tree_edge_lengths};
+use std::time::Duration;
 
 fn bench_kglws(c: &mut Criterion) {
     let mut group = c.benchmark_group("kglws");
@@ -47,10 +47,16 @@ fn bench_tree(c: &mut Criterion) {
     for &bias in &[20u32, 90] {
         let parent = random_tree(10_000, bias, 4);
         let lens = tree_edge_lengths(10_000, 4, 4);
-        let inst = TreeGlwsInstance::new(parent, &lens, 0, |du, dv| {
-            let len = (dv - du) as i64;
-            25 + len * len
-        }, |d, _| d);
+        let inst = TreeGlwsInstance::new(
+            parent,
+            &lens,
+            0,
+            |du, dv| {
+                let len = (dv - du) as i64;
+                25 + len * len
+            },
+            |d, _| d,
+        );
         group.bench_with_input(BenchmarkId::new("parallel_levels", bias), &inst, |b, i| {
             b.iter(|| parallel_tree_glws(i))
         });

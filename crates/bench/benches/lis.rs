@@ -2,9 +2,9 @@
 //! sequential O(n log k) algorithm, swept over the LIS length `k`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use pardp_lis::{parallel_lis, sequential_lis};
 use pardp_workloads::lis_with_length;
+use std::time::Duration;
 
 fn bench_lis(c: &mut Criterion) {
     let n = 200_000usize;

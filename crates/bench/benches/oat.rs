@@ -2,9 +2,9 @@
 //! Garsia–Wachs vs the interval DP, plus the height check of Lemma 5.1.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use pardp_oat::{garsia_wachs, interval_dp_oat};
 use pardp_workloads::{positive_weights, skewed_weights};
+use std::time::Duration;
 
 fn bench_oat(c: &mut Criterion) {
     let mut group = c.benchmark_group("oat");
@@ -13,13 +13,17 @@ fn bench_oat(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for &n in &[2_000usize, 8_000] {
         let uniform = positive_weights(n, 1 << 20, 3);
-        group.bench_with_input(BenchmarkId::new("garsia_wachs_uniform", n), &uniform, |b, w| {
-            b.iter(|| garsia_wachs(w))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("garsia_wachs_uniform", n),
+            &uniform,
+            |b, w| b.iter(|| garsia_wachs(w)),
+        );
         let skewed = skewed_weights(n, 1 << 20, 64, 3);
-        group.bench_with_input(BenchmarkId::new("garsia_wachs_skewed", n), &skewed, |b, w| {
-            b.iter(|| garsia_wachs(w))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("garsia_wachs_skewed", n),
+            &skewed,
+            |b, w| b.iter(|| garsia_wachs(w)),
+        );
     }
     let small = positive_weights(1_000, 1 << 20, 3);
     group.bench_function("interval_dp_n1000", |b| b.iter(|| interval_dp_oat(&small)));

@@ -24,7 +24,10 @@ fn main() {
     let n = 1_000_000usize;
 
     println!("== A1: prefix-doubling waste in parallel convex GLWS (n = {n}) ==");
-    println!("{:>10} {:>14} {:>16} {:>12}", "k", "states final", "states wasted", "waste %");
+    println!(
+        "{:>10} {:>14} {:>16} {:>12}",
+        "k", "states final", "states wasted", "waste %"
+    );
     for &k in &[10usize, 1_000, 100_000] {
         let inst = workloads::post_office_instance(n, k, 5);
         let p = PostOfficeProblem::new(inst.coords, inst.open_cost);
@@ -51,7 +54,10 @@ fn main() {
     println!("== A3: concave merge strategies (n = 200000) ==");
     println!("{:>22} {:>12} {:>12}", "strategy", "time (s)", "probes");
     for (name, strat) in [
-        ("position binary search", ConcaveMergeStrategy::PositionBinarySearch),
+        (
+            "position binary search",
+            ConcaveMergeStrategy::PositionBinarySearch,
+        ),
         ("paper Algorithm 2", ConcaveMergeStrategy::PaperAlgorithm2),
     ] {
         let p = ConcaveGapCost::new(200_000, 50, 3);

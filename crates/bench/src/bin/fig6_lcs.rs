@@ -11,7 +11,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
     let l = parse_flag(&args, "--l").unwrap_or(if paper_scale { 100_000_000 } else { 1_000_000 });
-    let ls = [l, l.saturating_mul(10).min(if paper_scale { 1_000_000_000 } else { 10_000_000 })];
+    let ls = [
+        l,
+        l.saturating_mul(10).min(if paper_scale {
+            1_000_000_000
+        } else {
+            10_000_000
+        }),
+    ];
     for &l in &ls {
         let ks = k_sweep(l, 12);
         let rows = run_fig6(l, &ks, 42);

@@ -9,7 +9,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
     let n = parse_flag(&args, "--n").unwrap_or(if paper_scale { 100_000_000 } else { 1_000_000 });
-    let ns = [n, n.saturating_mul(10).min(if paper_scale { 1_000_000_000 } else { 10_000_000 })];
+    let ns = [
+        n,
+        n.saturating_mul(10).min(if paper_scale {
+            1_000_000_000
+        } else {
+            10_000_000
+        }),
+    ];
     for &n in &ns {
         let ks = k_sweep(100_000.min(n), 10);
         let rows = run_fig7(n, &ks, 7);

@@ -55,10 +55,7 @@ pub fn run_fig6(l: usize, ks: &[usize], seed: u64) -> Vec<Fig6Row> {
     ks.iter()
         .map(|&k| {
             let raw = workloads::lcs_pairs_with(l, k.min(l), seed);
-            let pairs: Vec<MatchPair> = raw
-                .into_iter()
-                .map(|(i, j)| MatchPair { i, j })
-                .collect();
+            let pairs: Vec<MatchPair> = raw.into_iter().map(|(i, j)| MatchPair { i, j }).collect();
             let (parallel_secs, par) = time_secs(|| parallel_sparse_lcs(&pairs));
             let (parallel_1t_secs, _) =
                 time_secs(|| with_threads(1, || parallel_sparse_lcs(&pairs)));

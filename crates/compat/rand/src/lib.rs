@@ -1,0 +1,278 @@
+//! Offline stand-in for the subset of the [rand] 0.8 API this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace points
+//! `rand = { path = ... }` at this crate (see `crates/compat/README.md`).
+//! Only the surface the workload generators call is provided: `Rng::gen_range`
+//! over integer ranges, `Rng::gen_ratio`, `SeedableRng::seed_from_u64`,
+//! `seq::SliceRandom::shuffle` and `seq::index::sample`.  The distributions
+//! are uniform but the streams do not bit-match the real rand crate; every
+//! generator in this repo is seeded and only relies on determinism, not on a
+//! specific stream.
+//!
+//! [rand]: https://docs.rs/rand
+
+#![forbid(unsafe_code)]
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`a..b` or `a..=b`); panics when empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(
+            denominator > 0 && numerator <= denominator,
+            "gen_ratio needs 0 <= numerator <= denominator, denominator > 0"
+        );
+        (self.next_u64() % denominator as u64) < numerator as u64
+    }
+
+    /// Uniform boolean.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p));
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that can be sampled from; mirrors `rand::distributions::uniform`.
+///
+/// The impls are generic over `T: SampleUniform` — like in the real crate —
+/// so type inference can flow from the call site (`x += rng.gen_range(1..=2)`
+/// infers the literal types from `x`).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler; mirrors `rand::distributions::uniform`.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Rejection-free (modulo-biased by < 2^-32 for the sizes used here) uniform
+/// draw from `[0, span)`.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift trick: maps 64 random bits to [0, span) almost uniformly.
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Width as an unsigned 64-bit span; correct for signed types
+                // via two's-complement wrapping arithmetic.
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if inclusive {
+                    if span == <$u>::MAX as u64 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+                } else {
+                    lo.wrapping_add(uniform_below(rng, span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Index sampling, mirroring `rand::seq::index`.
+    pub mod index {
+        use super::super::{Rng, RngCore};
+
+        /// A set of sampled indices.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Consume into a plain `Vec<usize>`.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether the sample is empty.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        /// Sample `amount` distinct indices from `0..length`, uniformly.
+        ///
+        /// Partial Fisher–Yates: `O(length)` memory, `O(length + amount)` time,
+        /// which is fine for the workload-generator scales this repo uses.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} distinct indices from 0..{length}"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct TestRng(u64);
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = TestRng(42);
+        for _ in 0..1000 {
+            let x: i64 = r.gen_range(-5i64..7);
+            assert!((-5..7).contains(&x));
+            let y: u64 = r.gen_range(3u64..=9);
+            assert!((3..=9).contains(&y));
+            let z: usize = r.gen_range(0..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn every_value_of_a_small_range_is_hit() {
+        let mut r = TestRng(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = TestRng(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut r = TestRng(11);
+        let idx = seq::index::sample(&mut r, 50, 20).into_vec();
+        assert_eq!(idx.len(), 20);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(idx.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn gen_ratio_extremes() {
+        let mut r = TestRng(3);
+        assert!(!r.gen_ratio(0, 10));
+        assert!(r.gen_ratio(10, 10));
+    }
+}

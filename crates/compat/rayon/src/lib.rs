@@ -1,0 +1,415 @@
+//! Sequential, API-compatible stand-in for the subset of [rayon] this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace routes
+//! `rayon = { path = ... }` at this crate instead (see `crates/compat/README.md`).
+//! Every combinator executes eagerly on the calling thread: `join` runs its
+//! closures back to back, and the `par_*` iterators are thin wrappers over the
+//! corresponding `std` iterators.  This preserves the *work* of every
+//! algorithm exactly — which is what the repo's tests and metrics assert — and
+//! degrades only the span.  Swapping the real rayon back in requires nothing
+//! but a manifest change, because the API surface mirrored here is the real
+//! one.
+//!
+//! [rayon]: https://docs.rs/rayon
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+
+/// Run both closures and return their results ("fork-join" with no fork).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// Scoped task spawning: tasks run immediately when spawned.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    f(&Scope {
+        marker: PhantomData,
+    })
+}
+
+/// Mirrors `rayon::Scope`; `spawn` executes the task inline.
+pub struct Scope<'scope> {
+    marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Run `body` immediately.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        body(self);
+    }
+}
+
+/// Number of worker threads in the "pool" (always 1 in the sequential shim).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError`; never produced here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Create a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the requested thread count (informational only).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the (sequential) pool; never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// A "thread pool" that runs everything on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` "inside" the pool.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        f()
+    }
+
+    /// The thread count the pool was configured with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// The parallel-iterator facade: wraps a std iterator and forwards the
+/// rayon-flavoured combinators to it.
+#[derive(Debug, Clone)]
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Wrap an iterator in the parallel facade.
+    pub fn new(inner: I) -> Self {
+        ParIter(inner)
+    }
+
+    /// See [`Iterator::map`].
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// See [`Iterator::enumerate`].
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// See [`Iterator::filter`].
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// See [`Iterator::filter_map`].
+    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// rayon's `flat_map_iter`: flat-map through a *serial* iterator.
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// See [`Iterator::flatten`].
+    pub fn flatten(self) -> ParIter<std::iter::Flatten<I>>
+    where
+        I::Item: IntoIterator,
+    {
+        ParIter(self.0.flatten())
+    }
+
+    /// See [`Iterator::zip`].
+    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
+        ParIter(self.0.zip(other))
+    }
+
+    /// See [`Iterator::cloned`].
+    pub fn cloned<'a, T>(self) -> ParIter<std::iter::Cloned<I>>
+    where
+        T: 'a + Clone,
+        I: Iterator<Item = &'a T>,
+    {
+        ParIter(self.0.cloned())
+    }
+
+    /// See [`Iterator::copied`].
+    pub fn copied<'a, T>(self) -> ParIter<std::iter::Copied<I>>
+    where
+        T: 'a + Copy,
+        I: Iterator<Item = &'a T>,
+    {
+        ParIter(self.0.copied())
+    }
+
+    /// See [`Iterator::min`].
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// See [`Iterator::max`].
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// See [`Iterator::sum`].
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// See [`Iterator::count`].
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// See [`Iterator::collect`].
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// See [`Iterator::for_each`].
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon's `reduce`: fold with an identity-producing closure.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// rayon's `reduce_with`: reduce without an identity; `None` when empty.
+    pub fn reduce_with<F>(self, op: F) -> Option<I::Item>
+    where
+        F: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.reduce(op)
+    }
+
+    /// Granularity hint; a no-op here.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Granularity hint; a no-op here.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> IntoIterator for ParIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The wrapped iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+    /// Convert into the parallel facade.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter` on shared references, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The wrapped iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type (a shared reference).
+    type Item: 'data;
+    /// Iterate over shared references.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+    <&'data T as IntoIterator>::Item: 'data,
+{
+    type Iter = <&'data T as IntoIterator>::IntoIter;
+    type Item = <&'data T as IntoIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter_mut` on unique references, mirroring
+/// `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The wrapped iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type (a unique reference).
+    type Item: 'data;
+    /// Iterate over unique references.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoIterator,
+    <&'data mut T as IntoIterator>::Item: 'data,
+{
+    type Iter = <&'data mut T as IntoIterator>::IntoIter;
+    type Item = <&'data mut T as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Chunked iteration over shared slices, mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Iterate over `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// Chunked iteration over mutable slices, mirroring
+/// `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Iterate over `chunk_size`-sized mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// Everything call sites normally get from `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_spawn_runs_inline() {
+        let mut hits = 0;
+        super::scope(|s| {
+            s.spawn(|_| {});
+            hits += 1;
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn par_iter_combinators_match_std() {
+        let v = vec![3u64, 1, 4, 1, 5];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        assert_eq!(v.par_iter().copied().min(), Some(1));
+        let total: u64 = (0..10u64).into_par_iter().sum();
+        assert_eq!(total, 45);
+        assert_eq!((0..5usize).into_par_iter().reduce(|| 0, |a, b| a + b), 10);
+        assert_eq!(
+            v.par_iter().map(|&x| x).reduce_with(|a, b| a.min(b)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn par_iter_mut_and_chunks() {
+        let mut v = vec![0usize; 10];
+        v.par_iter_mut().enumerate().for_each(|(i, slot)| *slot = i);
+        assert_eq!(v[9], 9);
+        let sums: Vec<usize> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+        v.par_chunks_mut(5).for_each(|c| c[0] = 100);
+        assert_eq!(v[0], 100);
+        assert_eq!(v[5], 100);
+    }
+
+    #[test]
+    fn thread_pool_installs() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

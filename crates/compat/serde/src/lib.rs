@@ -1,0 +1,16 @@
+//! Offline marker-trait stand-in for `serde` (see `crates/compat/README.md`).
+//!
+//! `Serialize` here is an empty marker trait, and `#[derive(Serialize)]`
+//! (re-exported from the sibling no-op `serde_derive`) expands to nothing, so
+//! code annotated for serde compiles unchanged.  All real serialization in
+//! this workspace is explicit formatting code.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` (offline build; see
+//! `crates/compat/README.md`).  `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! compile to nothing: the workspace only uses the derives as annotations on
+//! report rows, and all actual serialization is hand-written formatting.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -77,9 +77,7 @@ mod tests {
 
     /// Oracle model: state `i` places a sentinel on `sentinel_of[i]` (or none).
     fn run_model(now: usize, n: usize, sentinel_of: &[Option<usize>]) -> (usize, DoublingStats) {
-        prefix_doubling_cordon(now, n, |l, r| {
-            (l..=r).filter_map(|j| sentinel_of[j]).min()
-        })
+        prefix_doubling_cordon(now, n, |l, r| (l..=r).filter_map(|j| sentinel_of[j]).min())
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! * it is the oracle the work-efficient algorithms are property-tested
 //!   against.
 
+use crate::phase::{run_phase_parallel, PhaseParallel};
 use pardp_parutils::{Metrics, MetricsCollector};
 use rayon::prelude::*;
 
@@ -90,7 +91,10 @@ impl EdgeWeightedDag {
     /// Add a transition `j -> i` with additive weight `w`.  `j` must precede
     /// `i` in the (integer) topological order, i.e. `j < i`.
     pub fn add_edge(&mut self, j: usize, i: usize, w: i64) {
-        assert!(j < i, "states must be numbered in topological order (j < i)");
+        assert!(
+            j < i,
+            "states must be numbered in topological order (j < i)"
+        );
         assert!(i < self.n);
         self.out_edges[j].push((i, w));
         self.in_deg[i] += 1;
@@ -125,104 +129,146 @@ impl EdgeWeightedDag {
         d
     }
 
-    /// Evaluate the recurrence with the Cordon Algorithm (Sec. 2.3 steps 1–5).
+    /// Evaluate the recurrence with the Cordon Algorithm (Sec. 2.3 steps 1–5),
+    /// driven by the shared phase-parallel engine ([`run_phase_parallel`]).
     ///
     /// Returns the DP values together with the per-round frontiers (the round
     /// count is the DAG's effective depth) and the collected metrics.
     pub fn solve_cordon(&self) -> CordonRun {
         let metrics = MetricsCollector::new();
-        let worst = self.objective.worst();
-        // Step 1: every state is tentative with its boundary value.
-        let mut d: Vec<i64> = (0..self.n)
-            .map(|i| self.boundary[i].unwrap_or(worst))
-            .collect();
-        let mut finalized = vec![false; self.n];
-        let mut frontiers: Vec<Vec<usize>> = Vec::new();
-        let mut remaining = self.n;
-
-        while remaining > 0 {
-            // Step 2: place sentinels.  A tentative state j places a sentinel
-            // on a tentative state i if relaxing i through j would improve i's
-            // tentative value.  (States that still hold the `worst` value
-            // cannot relax anyone — they have not received any value yet.)
-            let mut sentinel = vec![false; self.n];
-            let mut edge_count = 0u64;
-            for j in 0..self.n {
-                if finalized[j] || d[j] == worst {
-                    continue;
-                }
-                for &(i, w) in &self.out_edges[j] {
-                    if finalized[i] {
-                        continue;
-                    }
-                    edge_count += 1;
-                    if self.objective.better(d[j] + w, d[i]) {
-                        sentinel[i] = true;
-                    }
-                }
-            }
-            metrics.add_edges(edge_count);
-
-            // A sentinel blocks the state it sits on and all its descendants.
-            let mut blocked = sentinel.clone();
-            for j in 0..self.n {
-                if finalized[j] {
-                    continue;
-                }
-                if blocked[j] {
-                    for &(i, _) in &self.out_edges[j] {
-                        if !finalized[i] {
-                            blocked[i] = true;
-                        }
-                    }
-                }
-            }
-
-            // Ready states: tentative and not blocked.
-            let frontier: Vec<usize> = (0..self.n)
-                .filter(|&i| !finalized[i] && !blocked[i])
-                .collect();
-            assert!(
-                !frontier.is_empty(),
-                "cordon round made no progress on an explicit DAG"
-            );
-
-            // Step 3: ready states relax their descendants.
-            let d_ref = &d;
-            let finalized_ref = &finalized;
-            let updates: Vec<(usize, i64)> = frontier
-                .par_iter()
-                .filter(|&&j| d_ref[j] != worst)
-                .flat_map_iter(|&j| {
-                    self.out_edges[j]
-                        .iter()
-                        .filter(|&&(i, _)| !finalized_ref[i])
-                        .map(move |&(i, w)| (i, d_ref[j] + w))
-                })
-                .collect();
-            metrics.add_edges(updates.len() as u64);
-            for (i, cand) in updates {
-                if self.objective.better(cand, d[i]) {
-                    d[i] = cand;
-                }
-            }
-
-            // Step 4: finalize the frontier and clear the sentinels (they are
-            // recomputed from scratch next round).
-            for &i in &frontier {
-                finalized[i] = true;
-            }
-            remaining -= frontier.len();
-            metrics.add_round();
-            metrics.add_states(frontier.len() as u64);
-            frontiers.push(frontier);
-        }
-
+        let (values, frontiers) = run_phase_parallel(ExplicitCordon::new(self), &metrics);
         CordonRun {
-            values: d,
+            values,
             frontiers,
             metrics: metrics.snapshot(),
         }
+    }
+}
+
+/// [`PhaseParallel`] instance for the reference Cordon Algorithm on an
+/// explicit DAG: one `round()` is one full sentinel/blocked/relax/finalize
+/// cycle of Sec. 2.3.
+pub struct ExplicitCordon<'a> {
+    dag: &'a EdgeWeightedDag,
+    d: Vec<i64>,
+    finalized: Vec<bool>,
+    frontiers: Vec<Vec<usize>>,
+    remaining: usize,
+}
+
+impl<'a> ExplicitCordon<'a> {
+    /// Step 1: every state starts tentative with its boundary value.
+    pub fn new(dag: &'a EdgeWeightedDag) -> Self {
+        let worst = dag.objective.worst();
+        let d: Vec<i64> = (0..dag.n)
+            .map(|i| dag.boundary[i].unwrap_or(worst))
+            .collect();
+        ExplicitCordon {
+            dag,
+            d,
+            finalized: vec![false; dag.n],
+            frontiers: Vec::new(),
+            remaining: dag.n,
+        }
+    }
+}
+
+impl PhaseParallel for ExplicitCordon<'_> {
+    /// Final DP values plus the per-round frontiers.
+    type Output = (Vec<i64>, Vec<Vec<usize>>);
+
+    fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        let dag = self.dag;
+        let worst = dag.objective.worst();
+
+        // Step 2: place sentinels.  A tentative state j places a sentinel on a
+        // tentative state i if relaxing i through j would improve i's
+        // tentative value.  (States that still hold the `worst` value cannot
+        // relax anyone — they have not received any value yet.)
+        let mut sentinel = vec![false; dag.n];
+        let mut edge_count = 0u64;
+        for j in 0..dag.n {
+            if self.finalized[j] || self.d[j] == worst {
+                continue;
+            }
+            for &(i, w) in &dag.out_edges[j] {
+                if self.finalized[i] {
+                    continue;
+                }
+                edge_count += 1;
+                if dag.objective.better(self.d[j] + w, self.d[i]) {
+                    sentinel[i] = true;
+                }
+            }
+        }
+        metrics.add_edges(edge_count);
+
+        // A sentinel blocks the state it sits on and all its descendants.
+        let mut blocked = sentinel;
+        for j in 0..dag.n {
+            if self.finalized[j] {
+                continue;
+            }
+            if blocked[j] {
+                for &(i, _) in &dag.out_edges[j] {
+                    if !self.finalized[i] {
+                        blocked[i] = true;
+                    }
+                }
+            }
+        }
+
+        // Ready states: tentative and not blocked.  An empty frontier is
+        // reported to the driver, whose stall guard rejects it.
+        let frontier: Vec<usize> = (0..dag.n)
+            .filter(|&i| !self.finalized[i] && !blocked[i])
+            .collect();
+        if frontier.is_empty() {
+            return 0;
+        }
+
+        // Step 3: ready states relax their descendants.
+        let d_ref = &self.d;
+        let finalized_ref = &self.finalized;
+        let updates: Vec<(usize, i64)> = frontier
+            .par_iter()
+            .filter(|&&j| d_ref[j] != worst)
+            .flat_map_iter(|&j| {
+                dag.out_edges[j]
+                    .iter()
+                    .filter(|&&(i, _)| !finalized_ref[i])
+                    .map(move |&(i, w)| (i, d_ref[j] + w))
+            })
+            .collect();
+        metrics.add_edges(updates.len() as u64);
+        for (i, cand) in updates {
+            if dag.objective.better(cand, self.d[i]) {
+                self.d[i] = cand;
+            }
+        }
+
+        // Step 4: finalize the frontier (sentinels are recomputed from scratch
+        // next round).
+        for &i in &frontier {
+            self.finalized[i] = true;
+        }
+        self.remaining -= frontier.len();
+        let size = frontier.len();
+        self.frontiers.push(frontier);
+        size
+    }
+
+    fn finish(self) -> Self::Output {
+        (self.d, self.frontiers)
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        // At least one state is finalized per round.
+        Some(self.dag.n as u64)
     }
 }
 

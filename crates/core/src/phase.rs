@@ -5,12 +5,79 @@
 //! processes it in parallel.  The driver below is deliberately thin: the whole
 //! difficulty of the paper lies in making `round()` cheap for each concrete
 //! problem, and that logic lives in the problem crates.  Centralizing the loop
-//! here gives every algorithm identical round accounting and a single place to
-//! guard against non-termination.
+//! here gives every algorithm identical round accounting — one
+//! [`MetricsCollector::record_round`] per round, which also logs the frontier
+//! size — and a single place to guard against non-termination:
+//!
+//! * a **progress guard**: a round that finalizes zero states while the
+//!   instance is not done is a [`StallError::NoProgress`];
+//! * a **round-budget guard**: every instance knows an upper bound on its
+//!   round count (at most one round per state, and usually much tighter, e.g.
+//!   `k` for k-GLWS); exceeding it is a [`StallError::BudgetExhausted`] even
+//!   if each round technically made progress.
+//!
+//! [`run_phase_parallel`] panics on a stall (the historical behaviour, now
+//! with a typed message constant); [`try_run_phase_parallel`] returns the
+//! error for callers that want to handle it.
 
 use pardp_parutils::MetricsCollector;
 
+/// Panic/format prefix used when a cordon round makes no progress.  Exposed as
+/// a constant so tests and callers match on the type's message rather than a
+/// hand-copied string.
+pub const STALL_NO_PROGRESS_MSG: &str =
+    "cordon round made no progress; the instance violates the framework's preconditions";
+
+/// Panic/format prefix used when the round budget is exhausted.
+pub const STALL_BUDGET_MSG: &str =
+    "cordon exceeded its round budget; the instance violates its own span bound";
+
+/// Why a phase-parallel run failed to complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StallError {
+    /// A round finalized zero states while the instance reported it was not
+    /// done.  Theorem 2.1 rules this out for well-formed instances.
+    NoProgress {
+        /// Rounds successfully executed before the stall.
+        rounds_completed: u64,
+    },
+    /// The instance executed more rounds than its declared
+    /// [`PhaseParallel::round_budget`] (or the caller-supplied override).
+    BudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+        /// States finalized before the run was aborted.
+        states_finalized: u64,
+    },
+}
+
+impl std::fmt::Display for StallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StallError::NoProgress { rounds_completed } => write!(
+                f,
+                "{STALL_NO_PROGRESS_MSG} (after {rounds_completed} completed rounds)"
+            ),
+            StallError::BudgetExhausted {
+                budget,
+                states_finalized,
+            } => write!(
+                f,
+                "{STALL_BUDGET_MSG} (budget {budget}, {states_finalized} states finalized)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StallError {}
+
 /// A problem instance that can be advanced one cordon round at a time.
+///
+/// Implementations exist in every problem crate (`LisCordon`, `LcsCordon`,
+/// `ConvexGlwsCordon`, `ConcaveGlwsCordon`, `KGlwsCordon`, `GapCordon`,
+/// `TreeGlwsCordon`, `ObstCordon`, and `core::explicit`'s reference
+/// instance); the facade's `CordonSolver` runs any of them through this one
+/// driver.
 pub trait PhaseParallel {
     /// Final result produced once all states are finalized.
     type Output;
@@ -22,10 +89,24 @@ pub trait PhaseParallel {
     /// the auxiliary structures.  Returns the number of states finalized in
     /// this round (the frontier size), which must be positive while
     /// [`PhaseParallel::is_done`] is false.
-    fn round(&mut self) -> usize;
+    ///
+    /// Fine-grained work counters (edges, probes, wasted states) should be
+    /// recorded on `metrics`; round/state/frontier accounting is the driver's
+    /// job and must *not* be duplicated here.
+    fn round(&mut self, metrics: &MetricsCollector) -> usize;
 
     /// Consume the instance and return the output.
     fn finish(self) -> Self::Output;
+
+    /// Upper bound on the number of rounds this instance may execute, used by
+    /// the driver's stall guard.  Every cordon instance finalizes at least one
+    /// state per round, so the number of remaining states is always a valid
+    /// bound; problem crates override this with their theorem-level bounds
+    /// (LIS length ≤ n, k layers for k-GLWS, n − 1 diagonals for OBST, ...).
+    /// `None` disables the budget guard.
+    fn round_budget(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Run `instance` to completion, recording rounds and frontier sizes in
@@ -33,24 +114,62 @@ pub trait PhaseParallel {
 ///
 /// # Panics
 ///
-/// Panics if a round finalizes zero states while the instance reports it is
-/// not done — that would mean the cordon failed to make progress, which the
-/// correctness proof of Theorem 2.1 rules out for well-formed instances, so we
-/// surface it loudly instead of looping forever.
-pub fn run_phase_parallel<P: PhaseParallel>(
+/// Panics with [`STALL_NO_PROGRESS_MSG`] if a round finalizes zero states
+/// while the instance reports it is not done, and with [`STALL_BUDGET_MSG`] if
+/// the instance exceeds its [`PhaseParallel::round_budget`] — both would mean
+/// the cordon failed to make progress, which the correctness proof of
+/// Theorem 2.1 rules out for well-formed instances, so we surface it loudly
+/// instead of looping forever.
+pub fn run_phase_parallel<P: PhaseParallel>(instance: P, metrics: &MetricsCollector) -> P::Output {
+    match try_run_phase_parallel(instance, metrics) {
+        Ok(output) => output,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Like [`run_phase_parallel`] but returns a typed [`StallError`] instead of
+/// panicking, using the instance's own [`PhaseParallel::round_budget`].
+pub fn try_run_phase_parallel<P: PhaseParallel>(
+    instance: P,
+    metrics: &MetricsCollector,
+) -> Result<P::Output, StallError> {
+    try_run_phase_parallel_with_budget(instance, metrics, None)
+}
+
+/// Like [`try_run_phase_parallel`] with an additional caller-supplied round
+/// budget; the effective budget is the tighter of the override and the
+/// instance's own hint.
+pub fn try_run_phase_parallel_with_budget<P: PhaseParallel>(
     mut instance: P,
     metrics: &MetricsCollector,
-) -> P::Output {
+    budget_override: Option<u64>,
+) -> Result<P::Output, StallError> {
+    let budget = match (budget_override, instance.round_budget()) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let mut rounds: u64 = 0;
+    let mut states: u64 = 0;
     while !instance.is_done() {
-        let frontier = instance.round();
-        assert!(
-            frontier > 0,
-            "cordon round made no progress; the instance violates the framework's preconditions"
-        );
-        metrics.add_round();
-        metrics.add_states(frontier as u64);
+        if let Some(budget) = budget {
+            if rounds >= budget {
+                return Err(StallError::BudgetExhausted {
+                    budget,
+                    states_finalized: states,
+                });
+            }
+        }
+        let frontier = instance.round(metrics);
+        if frontier == 0 {
+            return Err(StallError::NoProgress {
+                rounds_completed: rounds,
+            });
+        }
+        rounds += 1;
+        states += frontier as u64;
+        metrics.record_round(frontier as u64);
     }
-    instance.finish()
+    Ok(instance.finish())
 }
 
 #[cfg(test)]
@@ -70,7 +189,7 @@ mod tests {
         fn is_done(&self) -> bool {
             self.remaining == 0
         }
-        fn round(&mut self) -> usize {
+        fn round(&mut self, _metrics: &MetricsCollector) -> usize {
             let f = self.step.min(self.remaining);
             self.remaining -= f;
             self.finalized += f;
@@ -78,6 +197,9 @@ mod tests {
         }
         fn finish(self) -> usize {
             self.finalized
+        }
+        fn round_budget(&self) -> Option<u64> {
+            Some(self.remaining as u64)
         }
     }
 
@@ -96,6 +218,7 @@ mod tests {
         let m = metrics.snapshot();
         assert_eq!(m.rounds, 4); // 3 + 3 + 3 + 1
         assert_eq!(m.states_finalized, 10);
+        assert_eq!(m.frontier_sizes, vec![3, 3, 3, 1]);
     }
 
     #[test]
@@ -111,6 +234,7 @@ mod tests {
         );
         assert_eq!(out, 0);
         assert_eq!(metrics.snapshot().rounds, 0);
+        assert!(metrics.snapshot().frontier_sizes.is_empty());
     }
 
     struct Stuck;
@@ -119,16 +243,106 @@ mod tests {
         fn is_done(&self) -> bool {
             false
         }
-        fn round(&mut self) -> usize {
+        fn round(&mut self, _metrics: &MetricsCollector) -> usize {
             0
         }
         fn finish(self) {}
     }
 
     #[test]
-    #[should_panic(expected = "no progress")]
-    fn stalled_instance_panics() {
+    fn stalled_instance_returns_typed_error() {
         let metrics = MetricsCollector::new();
-        run_phase_parallel(Stuck, &metrics);
+        let err = try_run_phase_parallel(Stuck, &metrics).unwrap_err();
+        assert_eq!(
+            err,
+            StallError::NoProgress {
+                rounds_completed: 0
+            }
+        );
+        assert!(err.to_string().contains(STALL_NO_PROGRESS_MSG));
+    }
+
+    #[test]
+    fn stalled_instance_panics_with_the_message_constant() {
+        let metrics = MetricsCollector::new();
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_phase_parallel(Stuck, &metrics)
+        }))
+        .unwrap_err();
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("panic payload should be the formatted StallError");
+        assert!(
+            message.contains(STALL_NO_PROGRESS_MSG),
+            "panic message {message:?} must embed the typed constant"
+        );
+    }
+
+    /// Claims progress every round but never finishes: caught by the budget.
+    struct Spinner;
+    impl PhaseParallel for Spinner {
+        type Output = ();
+        fn is_done(&self) -> bool {
+            false
+        }
+        fn round(&mut self, _metrics: &MetricsCollector) -> usize {
+            1
+        }
+        fn finish(self) {}
+        fn round_budget(&self) -> Option<u64> {
+            Some(16)
+        }
+    }
+
+    #[test]
+    fn round_budget_stops_a_spinner() {
+        let metrics = MetricsCollector::new();
+        let err = try_run_phase_parallel(Spinner, &metrics).unwrap_err();
+        assert_eq!(
+            err,
+            StallError::BudgetExhausted {
+                budget: 16,
+                states_finalized: 16
+            }
+        );
+        assert!(err.to_string().contains(STALL_BUDGET_MSG));
+    }
+
+    #[test]
+    fn caller_budget_override_tightens_the_instance_hint() {
+        let metrics = MetricsCollector::new();
+        let err = try_run_phase_parallel_with_budget(Spinner, &metrics, Some(4)).unwrap_err();
+        assert_eq!(
+            err,
+            StallError::BudgetExhausted {
+                budget: 4,
+                states_finalized: 4
+            }
+        );
+        // A loose override keeps the instance's own (tighter) budget.
+        let metrics = MetricsCollector::new();
+        let err = try_run_phase_parallel_with_budget(Spinner, &metrics, Some(1000)).unwrap_err();
+        assert_eq!(
+            err,
+            StallError::BudgetExhausted {
+                budget: 16,
+                states_finalized: 16
+            }
+        );
+    }
+
+    #[test]
+    fn budget_equal_to_needed_rounds_succeeds() {
+        let metrics = MetricsCollector::new();
+        let out = try_run_phase_parallel_with_budget(
+            Countdown {
+                remaining: 9,
+                step: 3,
+                finalized: 0,
+            },
+            &metrics,
+            Some(3),
+        );
+        assert_eq!(out, Ok(9));
     }
 }

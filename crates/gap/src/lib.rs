@@ -29,7 +29,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// DP recurrences read most naturally with explicit state indices.
+#![allow(clippy::needless_range_loop)]
 
+use pardp_core::{run_phase_parallel, PhaseParallel};
 use pardp_parutils::{Metrics, MetricsCollector};
 use rayon::prelude::*;
 
@@ -272,27 +275,76 @@ where
     W2: Fn(usize, usize) -> i64 + Sync,
 {
     let metrics = MetricsCollector::new();
-    let (n, m) = (inst.a.len(), inst.b.len());
-    let mut d = vec![vec![INF; m + 1]; n + 1];
-    d[0][0] = 0;
-    let mut row_struct: Vec<ConvexDecisionList> =
-        (0..=n).map(|_| ConvexDecisionList::new(m)).collect();
-    let mut col_struct: Vec<ConvexDecisionList> =
-        (0..=m).map(|_| ConvexDecisionList::new(n)).collect();
-    // Seed the structures with the boundary cell.
-    row_struct[0].insert(0, 0, &inst.w2);
-    col_struct[0].insert(0, 0, &inst.w1);
+    let d = run_phase_parallel(GapCordon::new(inst), &metrics);
+    let cost = d[inst.a.len()][inst.b.len()];
+    GapResult {
+        d,
+        cost,
+        metrics: metrics.snapshot(),
+    }
+}
 
-    for diag in 1..=(n + m) {
-        // Cells (i, j) with i + j = diag.
+/// [`PhaseParallel`] instance for the parallel GAP evaluation: each round
+/// processes one anti-diagonal frontier of the grid DAG.
+pub struct GapCordon<'i, 'a, W1, W2> {
+    inst: &'i GapInstance<'a, W1, W2>,
+    d: Vec<Vec<i64>>,
+    row_struct: Vec<ConvexDecisionList>,
+    col_struct: Vec<ConvexDecisionList>,
+    diag: usize,
+    n: usize,
+    m: usize,
+}
+
+impl<'i, 'a, W1, W2> GapCordon<'i, 'a, W1, W2>
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    /// Initialize the DP grid and seed the per-row/per-column structures with
+    /// the boundary cell.
+    pub fn new(inst: &'i GapInstance<'a, W1, W2>) -> Self {
+        let (n, m) = (inst.a.len(), inst.b.len());
+        let mut d = vec![vec![INF; m + 1]; n + 1];
+        d[0][0] = 0;
+        let mut row_struct: Vec<ConvexDecisionList> =
+            (0..=n).map(|_| ConvexDecisionList::new(m)).collect();
+        let mut col_struct: Vec<ConvexDecisionList> =
+            (0..=m).map(|_| ConvexDecisionList::new(n)).collect();
+        row_struct[0].insert(0, 0, &inst.w2);
+        col_struct[0].insert(0, 0, &inst.w1);
+        GapCordon {
+            inst,
+            d,
+            row_struct,
+            col_struct,
+            diag: 1,
+            n,
+            m,
+        }
+    }
+}
+
+impl<W1, W2> PhaseParallel for GapCordon<'_, '_, W1, W2>
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    /// The completed DP grid.
+    type Output = Vec<Vec<i64>>;
+
+    fn is_done(&self) -> bool {
+        self.diag > self.n + self.m
+    }
+
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        let (inst, diag, n, m) = (self.inst, self.diag, self.n, self.m);
+        // Cells (i, j) with i + j = diag; non-empty for every 1 <= diag <= n+m.
         let i_lo = diag.saturating_sub(m);
         let i_hi = diag.min(n);
-        if i_lo > i_hi {
-            continue;
-        }
-        let d_ref = &d;
-        let row_ref = &row_struct;
-        let col_ref = &col_struct;
+        let d_ref = &self.d;
+        let row_ref = &self.row_struct;
+        let col_ref = &self.col_struct;
         let values: Vec<i64> = (i_lo..=i_hi)
             .into_par_iter()
             .map(|i| {
@@ -312,11 +364,11 @@ where
         for (off, &v) in values.iter().enumerate() {
             let i = i_lo + off;
             let j = diag - i;
-            d[i][j] = v;
+            self.d[i][j] = v;
         }
         let w2 = &inst.w2;
         let w1 = &inst.w1;
-        row_struct[i_lo..=i_hi]
+        self.row_struct[i_lo..=i_hi]
             .par_iter_mut()
             .enumerate()
             .for_each(|(off, rs)| {
@@ -326,30 +378,30 @@ where
             });
         let j_lo = diag - i_hi;
         let j_hi = diag - i_lo;
-        col_struct[j_lo..=j_hi]
+        let d_now = &self.d;
+        self.col_struct[j_lo..=j_hi]
             .par_iter_mut()
             .enumerate()
             .for_each(|(off, cs)| {
                 let j = j_lo + off;
                 let i = diag - j;
-                cs.insert(i, d_ref_value(&d, i, j), w1);
+                cs.insert(i, d_now[i][j], w1);
             });
-        metrics.add_round();
-        metrics.add_states((i_hi - i_lo + 1) as u64);
-        metrics.add_edges(3 * (i_hi - i_lo + 1) as u64);
+        let cells = i_hi - i_lo + 1;
+        metrics.add_edges(3 * cells as u64);
+        metrics.add_probes(2 * cells as u64);
+        self.diag += 1;
+        cells
     }
-    metrics.add_probes((2 * (n + 1) * (m + 1)) as u64);
-    let cost = d[n][m];
-    GapResult {
-        d,
-        cost,
-        metrics: metrics.snapshot(),
-    }
-}
 
-#[inline]
-fn d_ref_value(d: &[Vec<i64>], i: usize, j: usize) -> i64 {
-    d[i][j]
+    fn finish(self) -> Self::Output {
+        self.d
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        // One round per anti-diagonal: the grid depth n + m.
+        Some((self.n + self.m) as u64)
+    }
 }
 
 #[cfg(test)]
@@ -483,11 +535,7 @@ mod tests {
             inserted.push((pos, val));
             // Query a few positions after pos.
             for q in (pos + 1)..=(pos + 5).min(horizon) {
-                let want = inserted
-                    .iter()
-                    .map(|&(p, v)| v + cost(p, q))
-                    .min()
-                    .unwrap();
+                let want = inserted.iter().map(|&(p, v)| v + cost(p, q)).min().unwrap();
                 assert_eq!(list.query(q, &cost), want, "pos {pos} q {q}");
             }
         }

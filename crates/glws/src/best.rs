@@ -20,17 +20,24 @@ pub struct DecisionInterval {
 }
 
 /// Sorted, contiguous array of best-decision intervals.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BestDecisionArray {
     triples: Vec<DecisionInterval>,
 }
 
 impl BestDecisionArray {
+    /// An array covering no states (used once every state is finalized).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
     /// The initial array for a GLWS instance with states `1..=n`: every state
     /// starts with decision `0` (the boundary state).
     pub fn initial(n: usize) -> Self {
         if n == 0 {
-            return BestDecisionArray { triples: Vec::new() };
+            return BestDecisionArray {
+                triples: Vec::new(),
+            };
         }
         BestDecisionArray {
             triples: vec![DecisionInterval { l: 1, r: n, j: 0 }],
@@ -92,9 +99,7 @@ impl BestDecisionArray {
     }
 
     fn interval_index_of(&self, i: usize) -> usize {
-        let idx = self
-            .triples
-            .partition_point(|t| t.r < i);
+        let idx = self.triples.partition_point(|t| t.r < i);
         assert!(
             idx < self.triples.len() && self.triples[idx].l <= i,
             "state {i} is not covered by the best-decision array"
@@ -205,7 +210,7 @@ impl BestDecisionArray {
         let mut plo = t.l;
         let mut phi = t.r.min(hi_bound);
         while plo < phi {
-            let mid = (plo + phi + 1) / 2;
+            let mid = (plo + phi).div_ceil(2);
             if pred(mid, t.j) {
                 plo = mid;
             } else {

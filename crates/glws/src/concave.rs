@@ -21,7 +21,7 @@
 use crate::best::BestDecisionArray;
 use crate::cost::GlwsProblem;
 use crate::GlwsResult;
-use pardp_core::prefix_doubling_cordon;
+use pardp_core::{prefix_doubling_cordon, run_phase_parallel, PhaseParallel};
 use pardp_parutils::{maybe_join, MetricsCollector};
 use rayon::prelude::*;
 
@@ -46,34 +46,71 @@ pub fn parallel_concave_glws<P: GlwsProblem>(problem: &P) -> GlwsResult {
 
 /// Solve a concave GLWS instance with an explicit merge strategy (used by the
 /// ablation benchmark).
+///
+/// Runs [`ConcaveGlwsCordon`] through the shared phase-parallel driver, which
+/// supplies the round accounting, frontier telemetry and stall guard.
 pub fn parallel_concave_glws_with<P: GlwsProblem>(
     problem: &P,
     merge: ConcaveMergeStrategy,
 ) -> GlwsResult {
-    let n = problem.n();
     let metrics = MetricsCollector::new();
-    let mut d = vec![0i64; n + 1];
-    let mut best = vec![0usize; n + 1];
-    d[0] = problem.d0();
-    if n == 0 {
-        return GlwsResult {
+    let (d, best) = run_phase_parallel(ConcaveGlwsCordon::new(problem, merge), &metrics);
+    GlwsResult {
+        d,
+        best,
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// [`PhaseParallel`] instance for the concave variant of Algorithm 1: each
+/// round is one FindCordon (with the successor-only sentinel rule) followed by
+/// the build-and-merge of the best-decision array.
+pub struct ConcaveGlwsCordon<'a, P: GlwsProblem> {
+    problem: &'a P,
+    merge: ConcaveMergeStrategy,
+    d: Vec<i64>,
+    best: Vec<usize>,
+    b: BestDecisionArray,
+    now: usize,
+    n: usize,
+}
+
+impl<'a, P: GlwsProblem> ConcaveGlwsCordon<'a, P> {
+    /// Initialize the DP arrays and the all-zero best-decision array.
+    pub fn new(problem: &'a P, merge: ConcaveMergeStrategy) -> Self {
+        let n = problem.n();
+        let mut d = vec![0i64; n + 1];
+        d[0] = problem.d0();
+        ConcaveGlwsCordon {
+            problem,
+            merge,
             d,
-            best,
-            metrics: metrics.snapshot(),
-        };
+            best: vec![0usize; n + 1],
+            b: BestDecisionArray::initial(n),
+            now: 0,
+            n,
+        }
+    }
+}
+
+impl<P: GlwsProblem> PhaseParallel for ConcaveGlwsCordon<'_, P> {
+    /// DP values plus the best decision of every state.
+    type Output = (Vec<i64>, Vec<usize>);
+
+    fn is_done(&self) -> bool {
+        self.now >= self.n
     }
 
-    let mut b = BestDecisionArray::initial(n);
-    let mut now = 0usize;
-
-    while now < n {
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        let problem = self.problem;
+        let (now, n) = (self.now, self.n);
         // FindCordon with the concave sentinel rule: j sentinels j+1 if it can
         // (weakly) improve it.
         let (cordon, stats) = {
-            let (d_final, d_tail) = d.split_at_mut(now + 1);
-            let (_, best_tail) = best.split_at_mut(now + 1);
-            let b_ref = &b;
-            let metrics_ref = &metrics;
+            let (d_final, d_tail) = self.d.split_at_mut(now + 1);
+            let (_, best_tail) = self.best.split_at_mut(now + 1);
+            let b_ref = &self.b;
+            let metrics_ref = metrics;
             let d_final: &[i64] = d_final;
 
             prefix_doubling_cordon(now, n, |lo, hi| {
@@ -111,36 +148,40 @@ pub fn parallel_concave_glws_with<P: GlwsProblem>(
 
         let frontier = cordon - now - 1;
         debug_assert!(frontier >= 1);
-        metrics.add_round();
-        metrics.add_states(frontier as u64);
 
         if cordon <= n {
             // Build B_new: best decisions among the new frontier, for [cordon, n].
             let mut intervals = Vec::new();
             find_intervals_concave(
                 problem,
-                &d,
+                &self.d,
                 now + 1,
                 cordon - 1,
                 cordon,
                 n,
                 &mut intervals,
-                &metrics,
+                metrics,
             );
             let b_new = BestDecisionArray::from_intervals(intervals);
-            let mut b_old = b;
+            let mut b_old = std::mem::take(&mut self.b);
             b_old.clip_front(cordon);
-            b = merge_new_old(problem, &d, b_new, b_old, cordon, n, merge, &metrics);
+            self.b = merge_new_old(
+                problem, &self.d, b_new, b_old, cordon, n, self.merge, metrics,
+            );
         } else {
-            b = BestDecisionArray::from_intervals(Vec::new());
+            self.b = BestDecisionArray::empty();
         }
-        now = cordon - 1;
+        self.now = cordon - 1;
+        frontier
     }
 
-    GlwsResult {
-        d,
-        best,
-        metrics: metrics.snapshot(),
+    fn finish(self) -> Self::Output {
+        (self.d, self.best)
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        // At least one state is finalized per round.
+        Some(self.n as u64)
     }
 }
 
@@ -230,7 +271,7 @@ fn merge_new_old<P: GlwsProblem>(
             } else {
                 let (mut lo, mut hi) = (cordon, n);
                 while lo < hi {
-                    let mid = (lo + hi + 1) / 2;
+                    let mid = (lo + hi).div_ceil(2);
                     if new_strictly_better(mid, &mut probes) {
                         lo = mid;
                     } else {
@@ -276,10 +317,7 @@ fn algorithm2_cut_point<P: GlwsProblem>(
     // Step 1 (Alg. 2 lines 1-2): for every interval ([l_k, r_k], j_k) of B_new,
     // find the best old decision x_k of l_k, in parallel.
     let triples = b_new.triples();
-    let xs: Vec<usize> = triples
-        .par_iter()
-        .map(|t| b_old.decision_at(t.l))
-        .collect();
+    let xs: Vec<usize> = triples.par_iter().map(|t| b_old.decision_at(t.l)).collect();
     *probes += triples.len() as u64;
 
     // Step 2 (line 3): last interval whose new decision still strictly beats
@@ -294,7 +332,7 @@ fn algorithm2_cut_point<P: GlwsProblem>(
     }
     let (mut lo, mut hi) = (0usize, triples.len() - 1);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if wins_at_left(mid) {
             lo = mid;
         } else {
@@ -314,7 +352,7 @@ fn algorithm2_cut_point<P: GlwsProblem>(
     };
     let (mut lo, mut hi) = (t.l, t.r);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if beats_old_at(mid, probes) {
             lo = mid;
         } else {

@@ -25,7 +25,7 @@
 use crate::best::BestDecisionArray;
 use crate::cost::GlwsProblem;
 use crate::GlwsResult;
-use pardp_core::prefix_doubling_cordon;
+use pardp_core::{prefix_doubling_cordon, run_phase_parallel, PhaseParallel};
 use pardp_parutils::{maybe_join, MetricsCollector};
 use rayon::prelude::*;
 
@@ -44,24 +44,58 @@ fn weakly_beats(candidate: i64, incumbent: i64) -> bool {
 /// Requires convex total monotonicity of `E[j] + w(j, i)` (implied by the
 /// convex Monge condition on `w`).  Produces the same DP values as
 /// [`crate::naive_glws`] and [`crate::sequential_convex_glws`].
+///
+/// Runs [`ConvexGlwsCordon`] through the shared phase-parallel driver, which
+/// supplies the round accounting, frontier telemetry and stall guard.
 pub fn parallel_convex_glws<P: GlwsProblem>(problem: &P) -> GlwsResult {
-    let n = problem.n();
     let metrics = MetricsCollector::new();
-    let mut d = vec![0i64; n + 1];
-    let mut best = vec![0usize; n + 1];
-    d[0] = problem.d0();
-    if n == 0 {
-        return GlwsResult {
+    let (d, best) = run_phase_parallel(ConvexGlwsCordon::new(problem), &metrics);
+    GlwsResult {
+        d,
+        best,
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// [`PhaseParallel`] instance for Algorithm 1: each round is one
+/// FindCordon + UpdateBest cycle, finalizing the states `[now+1, cordon-1]`.
+pub struct ConvexGlwsCordon<'a, P: GlwsProblem> {
+    problem: &'a P,
+    d: Vec<i64>,
+    best: Vec<usize>,
+    b: BestDecisionArray,
+    now: usize,
+    n: usize,
+}
+
+impl<'a, P: GlwsProblem> ConvexGlwsCordon<'a, P> {
+    /// Initialize the DP arrays and the all-zero best-decision array.
+    pub fn new(problem: &'a P) -> Self {
+        let n = problem.n();
+        let mut d = vec![0i64; n + 1];
+        d[0] = problem.d0();
+        ConvexGlwsCordon {
+            problem,
             d,
-            best,
-            metrics: metrics.snapshot(),
-        };
+            best: vec![0usize; n + 1],
+            b: BestDecisionArray::initial(n),
+            now: 0,
+            n,
+        }
+    }
+}
+
+impl<P: GlwsProblem> PhaseParallel for ConvexGlwsCordon<'_, P> {
+    /// DP values plus the best decision of every state.
+    type Output = (Vec<i64>, Vec<usize>);
+
+    fn is_done(&self) -> bool {
+        self.now >= self.n
     }
 
-    let mut b = BestDecisionArray::initial(n);
-    let mut now = 0usize;
-
-    while now < n {
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        let problem = self.problem;
+        let (now, n) = (self.now, self.n);
         // ------------------------------------------------------------------
         // FindCordon: prefix-doubling probe of the states after `now`.
         //
@@ -71,10 +105,10 @@ pub fn parallel_convex_glws<P: GlwsProblem>(problem: &P) -> GlwsResult {
         // cordon are final.
         // ------------------------------------------------------------------
         let (cordon, stats) = {
-            let (d_final, d_tail) = d.split_at_mut(now + 1);
-            let (_, best_tail) = best.split_at_mut(now + 1);
-            let b_ref = &b;
-            let metrics_ref = &metrics;
+            let (d_final, d_tail) = self.d.split_at_mut(now + 1);
+            let (_, best_tail) = self.best.split_at_mut(now + 1);
+            let b_ref = &self.b;
+            let metrics_ref = metrics;
             let d_final: &[i64] = d_final;
 
             prefix_doubling_cordon(now, n, |lo, hi| {
@@ -95,8 +129,7 @@ pub fn parallel_convex_glws<P: GlwsProblem>(problem: &P) -> GlwsResult {
                         let mut local_probes = 0u64;
                         let sentinel = b_ref.first_position_where(j + 1, &mut |pos, inc| {
                             local_probes += 1;
-                            let incumbent =
-                                problem.e(d_final[inc], inc) + problem.w(inc, pos);
+                            let incumbent = problem.e(d_final[inc], inc) + problem.w(inc, pos);
                             weakly_beats(ej + problem.w(j, pos), incumbent)
                         });
                         metrics_ref.add_probes(local_probes);
@@ -111,8 +144,6 @@ pub fn parallel_convex_glws<P: GlwsProblem>(problem: &P) -> GlwsResult {
 
         let frontier = cordon - now - 1;
         debug_assert!(frontier >= 1, "cordon must make progress");
-        metrics.add_round();
-        metrics.add_states(frontier as u64);
 
         // ------------------------------------------------------------------
         // UpdateBest: rebuild B for [cordon, n] from decisions [now+1, cordon-1].
@@ -125,25 +156,29 @@ pub fn parallel_convex_glws<P: GlwsProblem>(problem: &P) -> GlwsResult {
             let mut intervals = Vec::new();
             find_intervals(
                 problem,
-                &d,
+                &self.d,
                 now + 1,
                 cordon - 1,
                 cordon,
                 n,
                 &mut intervals,
-                &metrics,
+                metrics,
             );
-            b = BestDecisionArray::from_intervals(intervals);
+            self.b = BestDecisionArray::from_intervals(intervals);
         } else {
-            b = BestDecisionArray::from_intervals(Vec::new());
+            self.b = BestDecisionArray::empty();
         }
-        now = cordon - 1;
+        self.now = cordon - 1;
+        frontier
     }
 
-    GlwsResult {
-        d,
-        best,
-        metrics: metrics.snapshot(),
+    fn finish(self) -> Self::Output {
+        (self.d, self.best)
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        // Lemma 4.5: rounds == perfect depth <= n.
+        Some(self.n as u64)
     }
 }
 

@@ -13,6 +13,7 @@
 //! algorithm.
 
 use crate::cost::GlwsProblem;
+use pardp_core::{run_phase_parallel, PhaseParallel};
 use pardp_parutils::{maybe_join, Metrics, MetricsCollector};
 
 /// Result of a k-GLWS computation.
@@ -92,24 +93,68 @@ pub fn naive_kglws<P: GlwsProblem>(problem: &P, k: usize) -> KGlwsResult {
 /// Parallel k-GLWS: `k` cordon rounds, each a parallel divide-and-conquer
 /// matrix search over the previous layer.  Requires convex total monotonicity
 /// of `D[j][k'-1] + w(j, i)` (implied by a convex Monge `w`).
+///
+/// Runs [`KGlwsCordon`] through the shared phase-parallel driver, which
+/// supplies the round accounting, frontier telemetry and stall guard.
 pub fn parallel_kglws<P: GlwsProblem>(problem: &P, k: usize) -> KGlwsResult {
-    let n = problem.n();
-    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
     let metrics = MetricsCollector::new();
-    let mut layers = vec![vec![UNREACHABLE; n + 1]; k + 1];
-    let mut best = vec![vec![0usize; n + 1]; k + 1];
-    layers[0][0] = 0;
+    let (layers, best) = run_phase_parallel(KGlwsCordon::new(problem, k), &metrics);
+    KGlwsResult {
+        layers,
+        best,
+        metrics: metrics.snapshot(),
+    }
+}
 
-    for kk in 1..=k {
+/// [`PhaseParallel`] instance for k-GLWS: the `k'`-th cordon frontier is the
+/// `k'`-th layer of the table, computed from layer `k'-1` with a parallel
+/// divide-and-conquer matrix search.
+pub struct KGlwsCordon<'a, P: GlwsProblem> {
+    problem: &'a P,
+    layers: Vec<Vec<i64>>,
+    best: Vec<Vec<usize>>,
+    kk: usize,
+    k: usize,
+    n: usize,
+}
+
+impl<'a, P: GlwsProblem> KGlwsCordon<'a, P> {
+    /// Initialize the `(k+1) × (n+1)` table with only `D[0][0]` reachable.
+    pub fn new(problem: &'a P, k: usize) -> Self {
+        let n = problem.n();
+        assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+        let mut layers = vec![vec![UNREACHABLE; n + 1]; k + 1];
+        layers[0][0] = 0;
+        KGlwsCordon {
+            problem,
+            layers,
+            best: vec![vec![0usize; n + 1]; k + 1],
+            kk: 1,
+            k,
+            n,
+        }
+    }
+}
+
+impl<P: GlwsProblem> PhaseParallel for KGlwsCordon<'_, P> {
+    /// The DP layers plus the per-layer best decisions.
+    type Output = (Vec<Vec<i64>>, Vec<Vec<usize>>);
+
+    fn is_done(&self) -> bool {
+        self.kk > self.k
+    }
+
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        let (kk, n) = (self.kk, self.n);
         // The k'-th cordon frontier: all states of layer kk.  Decisions come
         // from layer kk-1, restricted to j in [kk-1, i-1].
-        let (prev_layers, cur_layers) = layers.split_at_mut(kk);
+        let (prev_layers, cur_layers) = self.layers.split_at_mut(kk);
         let prev = &prev_layers[kk - 1];
         let cur = &mut cur_layers[0];
-        let cur_best = &mut best[kk];
+        let cur_best = &mut self.best[kk];
         // States kk..=n, decisions (kk-1)..=(n-1).
         layer_divide_conquer(
-            problem,
+            self.problem,
             prev,
             kk,
             n,
@@ -118,16 +163,19 @@ pub fn parallel_kglws<P: GlwsProblem>(problem: &P, k: usize) -> KGlwsResult {
             &mut cur[kk..=n],
             &mut cur_best[kk..=n],
             kk,
-            &metrics,
+            metrics,
         );
-        metrics.add_round();
-        metrics.add_states((n + 1 - kk) as u64);
+        self.kk += 1;
+        n + 1 - kk
     }
 
-    KGlwsResult {
-        layers,
-        best,
-        metrics: metrics.snapshot(),
+    fn finish(self) -> Self::Output {
+        (self.layers, self.best)
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        // Exactly one round per layer.
+        Some(self.k as u64)
     }
 }
 
@@ -182,7 +230,16 @@ fn layer_divide_conquer<P: GlwsProblem>(
         || {
             if im > il {
                 layer_divide_conquer(
-                    problem, prev, il, im - 1, jl, bj, d_left, b_left, base, metrics,
+                    problem,
+                    prev,
+                    il,
+                    im - 1,
+                    jl,
+                    bj,
+                    d_left,
+                    b_left,
+                    base,
+                    metrics,
                 );
             }
         },

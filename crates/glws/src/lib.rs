@@ -27,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// DP recurrences read most naturally with explicit state indices.
+#![allow(clippy::needless_range_loop)]
 
 pub mod best;
 pub mod concave;
@@ -38,12 +40,14 @@ pub mod seq;
 pub mod smawk;
 
 pub use best::BestDecisionArray;
-pub use concave::{parallel_concave_glws, parallel_concave_glws_with, ConcaveMergeStrategy};
-pub use convex::parallel_convex_glws;
+pub use concave::{
+    parallel_concave_glws, parallel_concave_glws_with, ConcaveGlwsCordon, ConcaveMergeStrategy,
+};
+pub use convex::{parallel_convex_glws, ConvexGlwsCordon};
 pub use cost::{
     ClosureCost, ConcaveGapCost, ConvexGapCost, GlwsProblem, LinearGapCost, PostOfficeProblem,
 };
-pub use kglws::{naive_kglws, parallel_kglws, KGlwsResult};
+pub use kglws::{naive_kglws, parallel_kglws, KGlwsCordon, KGlwsResult};
 pub use naive::naive_glws;
 pub use seq::{sequential_concave_glws, sequential_convex_glws};
 pub use smawk::smawk_row_minima;

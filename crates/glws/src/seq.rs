@@ -89,9 +89,8 @@ fn sequential_glws<P: GlwsProblem>(problem: &P, kind: Monotonicity) -> GlwsResul
         // Insert decision i for the remaining states [i+1, n].
         // "wins" means strictly better, so ties keep the earlier decision and
         // the result matches the leftmost-argmin oracle.
-        let wins = |pos: usize, against: usize| -> bool {
-            f(d[i], i, pos) < f(d[against], against, pos)
-        };
+        let wins =
+            |pos: usize, against: usize| -> bool { f(d[i], i, pos) < f(d[against], against, pos) };
         match kind {
             Monotonicity::Convex => {
                 // Decision i wins on a suffix of the remaining states: consume
@@ -155,7 +154,7 @@ fn sequential_glws<P: GlwsProblem>(problem: &P, kind: Monotonicity) -> GlwsResul
                         let (mut lo, mut hi) = (front.l, front.r - 1);
                         while lo < hi {
                             probes += 1;
-                            let mid = (lo + hi + 1) / 2;
+                            let mid = (lo + hi).div_ceil(2);
                             if wins(mid, front.j) {
                                 lo = mid;
                             } else {
@@ -169,7 +168,11 @@ fn sequential_glws<P: GlwsProblem>(problem: &P, kind: Monotonicity) -> GlwsResul
                     end = Some(n);
                 }
                 if let Some(e) = end {
-                    queue.push_front(Triple { l: i + 1, r: e, j: i });
+                    queue.push_front(Triple {
+                        l: i + 1,
+                        r: e,
+                        j: i,
+                    });
                 }
             }
         }

@@ -152,7 +152,15 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_monge_matrices() {
-        for &(n, m) in &[(1usize, 1usize), (1, 7), (7, 1), (5, 5), (16, 9), (40, 40), (33, 64)] {
+        for &(n, m) in &[
+            (1usize, 1usize),
+            (1, 7),
+            (7, 1),
+            (5, 5),
+            (16, 9),
+            (40, 40),
+            (33, 64),
+        ] {
             for seed in -3..3 {
                 let f = monge_matrix(n, m, seed);
                 assert!(is_convex_totally_monotone(n, m, &f));
@@ -160,7 +168,11 @@ mod tests {
                 let want = brute_force_row_minima(n, m, &f);
                 // Compare attained values (ties may pick different columns).
                 for r in 0..n {
-                    assert_eq!(f(r, got[r]), f(r, want[r]), "row {r} ({n}x{m}, seed {seed})");
+                    assert_eq!(
+                        f(r, got[r]),
+                        f(r, want[r]),
+                        "row {r} ({n}x{m}, seed {seed})"
+                    );
                 }
                 // Argmin columns must be non-decreasing (total monotonicity).
                 for r in 1..n {

@@ -18,8 +18,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use pardp_core::{run_phase_parallel, PhaseParallel};
 use pardp_parutils::{par_sort_by_key, Metrics, MetricsCollector};
-use pardp_tournament::{TieRule, TournamentTree};
+use pardp_tournament::{StaircaseCordon, TieRule};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -143,38 +144,51 @@ pub fn sequential_sparse_lcs(pairs: &[MatchPair]) -> LcsResult {
 /// exactly the pairs with DP value `r` — using a tournament tree keyed by `j`.
 pub fn parallel_sparse_lcs(pairs: &[MatchPair]) -> LcsResult {
     let metrics = MetricsCollector::new();
-    debug_assert!(pairs_are_canonically_sorted(pairs));
-    if pairs.is_empty() {
-        return LcsResult {
-            length: 0,
-            pair_values: Vec::new(),
-            metrics: metrics.snapshot(),
-        };
-    }
-    let keys: Vec<u32> = pairs.iter().map(|p| p.j).collect();
-    // A pair relaxes a later pair only with a strictly smaller j (and strictly
-    // smaller i, which the canonical order guarantees for smaller j values on
-    // the prefix-minimum staircase), so ties do not block.
-    let mut tree = TournamentTree::new(&keys, TieRule::TiesAreRecords);
-    let mut pair_values = vec![0u32; pairs.len()];
-    let mut round = 0u32;
-    loop {
-        let records = tree.extract_prefix_minima();
-        if records.is_empty() {
-            break;
-        }
-        round += 1;
-        metrics.add_round();
-        metrics.add_states(records.len() as u64);
-        metrics.add_edges(records.len() as u64);
-        for (pos, _) in records {
-            pair_values[pos] = round;
-        }
-    }
+    let (pair_values, length) = run_phase_parallel(LcsCordon::new(pairs), &metrics);
     LcsResult {
-        length: round,
+        length,
         pair_values,
         metrics: metrics.snapshot(),
+    }
+}
+
+/// [`PhaseParallel`] instance for parallel sparse LCS: one round extracts
+/// every pair on the current cordon staircase (the pairs with DP value equal
+/// to the round number) from a tournament tree keyed by `j`.
+pub struct LcsCordon(StaircaseCordon<u32>);
+
+impl LcsCordon {
+    /// Build the tournament tree over the `j` keys of canonically sorted
+    /// pairs.
+    pub fn new(pairs: &[MatchPair]) -> Self {
+        debug_assert!(pairs_are_canonically_sorted(pairs));
+        let keys: Vec<u32> = pairs.iter().map(|p| p.j).collect();
+        // A pair relaxes a later pair only with a strictly smaller j (and
+        // strictly smaller i, which the canonical order guarantees for smaller
+        // j values on the prefix-minimum staircase), so ties do not block.
+        LcsCordon(StaircaseCordon::new(&keys, TieRule::TiesAreRecords))
+    }
+}
+
+impl PhaseParallel for LcsCordon {
+    /// Per-pair DP values plus the LCS length (rounds == length,
+    /// Theorem 3.2).
+    type Output = (Vec<u32>, u32);
+
+    fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        self.0.round(metrics)
+    }
+
+    fn finish(self) -> Self::Output {
+        self.0.finish()
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        self.0.round_budget()
     }
 }
 
@@ -266,7 +280,10 @@ mod tests {
                 let par = parallel_sparse_lcs(&pairs);
                 assert_eq!(seq.length, want, "seed {seed} alpha {alpha}");
                 assert_eq!(par.length, want, "seed {seed} alpha {alpha}");
-                assert_eq!(par.pair_values, seq.pair_values, "seed {seed} alpha {alpha}");
+                assert_eq!(
+                    par.pair_values, seq.pair_values,
+                    "seed {seed} alpha {alpha}"
+                );
             }
         }
     }

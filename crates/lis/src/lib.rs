@@ -17,8 +17,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use pardp_core::{run_phase_parallel, PhaseParallel};
 use pardp_parutils::{Metrics, MetricsCollector};
-use pardp_tournament::{TieRule, TournamentTree};
+use pardp_tournament::{StaircaseCordon, TieRule};
 
 /// Result of an LIS computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,41 +126,52 @@ pub fn sequential_lis(a: &[i64]) -> LisResult {
 ///
 /// Round `r` extracts every remaining prefix-minimum element; those elements
 /// all have DP value `r`.  The number of rounds equals the LIS length.
+///
+/// Runs [`LisCordon`] through the shared phase-parallel driver, which supplies
+/// the round accounting, frontier telemetry and stall guard.
 pub fn parallel_lis(a: &[i64]) -> LisResult {
     let metrics = MetricsCollector::new();
-    let n = a.len();
-    if n == 0 {
-        return LisResult {
-            d: Vec::new(),
-            length: 0,
-            metrics: metrics.snapshot(),
-        };
-    }
-    // Ties do not block: A[j] < A[i] is required for a transition, so an equal
-    // element to the left does not prevent readiness.
-    let mut tree = TournamentTree::new(a, TieRule::TiesAreRecords);
-    let mut d = vec![0u32; n];
-    let mut round = 0u32;
-    let mut extracted_total = 0usize;
-    loop {
-        let records = tree.extract_prefix_minima();
-        if records.is_empty() {
-            break;
-        }
-        round += 1;
-        metrics.add_round();
-        metrics.add_states(records.len() as u64);
-        metrics.add_edges(records.len() as u64);
-        extracted_total += records.len();
-        for (pos, _) in records {
-            d[pos] = round;
-        }
-    }
-    debug_assert_eq!(extracted_total, n);
+    let (d, length) = run_phase_parallel(LisCordon::new(a), &metrics);
     LisResult {
         d,
-        length: round,
+        length,
         metrics: metrics.snapshot(),
+    }
+}
+
+/// [`PhaseParallel`] instance for parallel LIS: one round extracts every
+/// prefix-minimum record from the tournament tree and assigns the current
+/// round number as its DP value.
+pub struct LisCordon(StaircaseCordon<i64>);
+
+impl LisCordon {
+    /// Build the tournament tree over the input sequence.
+    pub fn new(a: &[i64]) -> Self {
+        // Ties do not block: A[j] < A[i] is required for a transition, so an
+        // equal element to the left does not prevent readiness.
+        LisCordon(StaircaseCordon::new(a, TieRule::TiesAreRecords))
+    }
+}
+
+impl PhaseParallel for LisCordon {
+    /// Per-element DP values plus the LIS length (rounds == length,
+    /// Theorem 3.1).
+    type Output = (Vec<u32>, u32);
+
+    fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        self.0.round(metrics)
+    }
+
+    fn finish(self) -> Self::Output {
+        self.0.finish()
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        self.0.round_budget()
     }
 }
 

@@ -14,16 +14,22 @@
 //!   what turns Theorem 5.1 into a polylog-span algorithm for word-sized
 //!   integer weights (Corollary 5.1.1).
 //!
-//! The parallel OAT of Theorem 5.1 plugs the parallel convex-LWS solver of
-//! `pardp-glws` (Algorithm 1) into Larmore et al.'s Cartesian-tree valley
-//! decomposition [72].  The convex-LWS engine — the paper's actual
-//! contribution to that pipeline — lives in `pardp-glws`; the valley
-//! decomposition driver is future work documented in DESIGN.md, so this crate
-//! currently exposes the sequential OAT plus everything needed to validate it.
+//! [`parallel_oat`] is the phase-parallel interval-DP construction: the OAT is
+//! the OBST problem restricted to leaf weights (Sec. 5.5's observation), so
+//! the diagonal cordon of `pardp-obst` — run through the shared
+//! `run_phase_parallel` driver — computes the optimal tree in `n - 1` rounds,
+//! and the split-point table reconstructs the leaf depths.  The
+//! polylog-round OAT of Theorem 5.1 additionally needs Larmore et al.'s
+//! Cartesian-tree valley decomposition [72] on top of the parallel convex-LWS
+//! solver of `pardp-glws`; that driver remains future work (see ROADMAP.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// DP recurrences read most naturally with explicit state indices.
+#![allow(clippy::needless_range_loop)]
 
+use pardp_core::run_phase_parallel;
+use pardp_obst::ObstCordon;
 use pardp_parutils::{Metrics, MetricsCollector};
 
 /// Result of an OAT construction.
@@ -193,6 +199,24 @@ pub fn garsia_wachs(weights: &[u64]) -> OatResult {
     }
 }
 
+/// Parallel OAT via the interval-DP cordon: diagonals of the Knuth table are
+/// the cordon frontiers, processed through the shared phase-parallel driver
+/// (`n - 1` rounds).  Produces the same cost as [`garsia_wachs`] and
+/// [`interval_dp_oat`], plus the leaf depths reconstructed from the
+/// split-point table.
+pub fn parallel_oat(weights: &[u64]) -> OatResult {
+    let metrics = MetricsCollector::new();
+    let tables = run_phase_parallel(ObstCordon::new(weights), &metrics);
+    let depths = tables.leaf_depths();
+    let height = depths.iter().copied().max().unwrap_or(0);
+    OatResult {
+        cost: tables.cost(),
+        depths,
+        height,
+        metrics: metrics.snapshot(),
+    }
+}
+
 /// The height bound of Lemma 5.1: for positive integer weights bounded by
 /// `max_weight`, the OAT height is `O(log(total weight / min weight))` —
 /// concretely at most `3 · (log₂(total) - log₂(min)) + 3`, because the subtree
@@ -300,5 +324,52 @@ mod tests {
         let r = garsia_wachs(&[1, 2, 3]);
         assert_eq!(r.cost, 9);
         assert_eq!(r.depths, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn parallel_oat_matches_garsia_wachs_cost() {
+        for seed in 0..6 {
+            for &n in &[1usize, 2, 3, 7, 20, 60] {
+                let w = pseudo_weights(n, seed, 200);
+                let par = parallel_oat(&w);
+                let gw = garsia_wachs(&w);
+                assert_eq!(par.cost, gw.cost, "n {n} seed {seed}");
+                // The reported depths must themselves attain the cost.
+                let recomputed: u64 = w.iter().zip(&par.depths).map(|(&a, &d)| a * d as u64).sum();
+                assert_eq!(recomputed, par.cost, "n {n} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_oat_runs_one_round_per_diagonal() {
+        let w = pseudo_weights(40, 3, 1000);
+        let r = parallel_oat(&w);
+        assert_eq!(r.metrics.rounds, 39);
+        assert_eq!(r.metrics.frontier_sizes.len(), 39);
+        // Diagonal δ holds n - δ intervals.
+        assert_eq!(r.metrics.frontier_sizes[0], 39);
+        assert_eq!(*r.metrics.frontier_sizes.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn parallel_oat_depths_form_a_full_binary_tree() {
+        let w = pseudo_weights(33, 8, 500);
+        let r = parallel_oat(&w);
+        let kraft: f64 = r.depths.iter().map(|&d| 0.5f64.powi(d as i32)).sum();
+        assert!((kraft - 1.0).abs() < 1e-9, "Kraft sum {kraft}");
+        assert_eq!(r.height, r.depths.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn parallel_oat_trivial_sizes() {
+        assert_eq!(parallel_oat(&[]).cost, 0);
+        let one = parallel_oat(&[5]);
+        assert_eq!(one.cost, 0);
+        assert_eq!(one.depths, vec![0]);
+        assert_eq!(one.metrics.rounds, 0);
+        let two = parallel_oat(&[3, 9]);
+        assert_eq!(two.cost, 12);
+        assert_eq!(two.depths, vec![1, 1]);
     }
 }

@@ -18,7 +18,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// DP recurrences read most naturally with explicit state indices.
+#![allow(clippy::needless_range_loop)]
 
+use pardp_core::{run_phase_parallel, PhaseParallel};
 use pardp_parutils::{Metrics, MetricsCollector};
 use rayon::prelude::*;
 
@@ -122,26 +125,106 @@ pub fn knuth_obst(weights: &[u64]) -> ObstResult {
 /// Parallel OBST: the Cordon frontier of round `δ` is the diagonal of
 /// intervals of length `δ + 1`, processed in parallel with the Knuth split
 /// bounds (which only reference the two previous diagonals).
+///
+/// Runs [`ObstCordon`] through the shared phase-parallel driver, which
+/// supplies the round accounting, frontier telemetry and stall guard.
 pub fn parallel_obst(weights: &[u64]) -> ObstResult {
-    let n = weights.len();
     let metrics = MetricsCollector::new();
-    if n <= 1 {
-        return ObstResult {
-            cost: 0,
-            metrics: metrics.snapshot(),
-        };
+    let tables = run_phase_parallel(ObstCordon::new(weights), &metrics);
+    ObstResult {
+        cost: tables.cost(),
+        metrics: metrics.snapshot(),
     }
-    let pre = prefix_sums(weights);
-    let wsum = |i: usize, j: usize| pre[j + 1] - pre[i];
-    // Flattened upper-triangular storage indexed by (diagonal, start).
-    // d[len-1][i] = cost of interval [i, i+len-1]; root likewise.
-    let mut d: Vec<Vec<u64>> = Vec::with_capacity(n);
-    let mut root: Vec<Vec<usize>> = Vec::with_capacity(n);
-    d.push(vec![0u64; n]);
-    root.push((0..n).collect());
-    for len in 2..=n {
+}
+
+/// Completed interval-DP tables produced by [`ObstCordon`], in diagonal-major
+/// layout: `d[len - 1][i]` is the cost of the interval `[i, i + len - 1]` and
+/// `root[len - 1][i]` its optimal split point.
+#[derive(Debug, Clone)]
+pub struct ObstTables {
+    /// Interval costs by (diagonal, start).
+    pub d: Vec<Vec<u64>>,
+    /// Optimal split points by (diagonal, start).
+    pub root: Vec<Vec<usize>>,
+    /// Number of leaves.
+    pub n: usize,
+}
+
+impl ObstTables {
+    /// Optimal total cost (0 for fewer than two leaves).
+    pub fn cost(&self) -> u64 {
+        if self.n <= 1 {
+            0
+        } else {
+            self.d[self.n - 1][0]
+        }
+    }
+
+    /// Depth of every leaf in the optimal tree, reconstructed from the split
+    /// points (root depth 0; a single leaf has depth 0).
+    pub fn leaf_depths(&self) -> Vec<u32> {
+        let n = self.n;
+        let mut depths = vec![0u32; n];
+        if n <= 1 {
+            return depths;
+        }
+        let mut stack = vec![(0usize, n - 1, 0u32)];
+        while let Some((i, j, depth)) = stack.pop() {
+            if i == j {
+                depths[i] = depth;
+                continue;
+            }
+            let k = self.root[j - i][i];
+            stack.push((i, k, depth + 1));
+            stack.push((k + 1, j, depth + 1));
+        }
+        depths
+    }
+}
+
+/// [`PhaseParallel`] instance for the interval DP: round `δ` fills the
+/// diagonal of intervals of length `δ + 1` in parallel using the Knuth split
+/// bounds.
+pub struct ObstCordon {
+    pre: Vec<u64>,
+    d: Vec<Vec<u64>>,
+    root: Vec<Vec<usize>>,
+    len: usize,
+    n: usize,
+}
+
+impl ObstCordon {
+    /// Seed the length-1 diagonal (single leaves cost 0, root at themselves).
+    pub fn new(weights: &[u64]) -> Self {
+        let n = weights.len();
+        let (d, root) = if n == 0 {
+            (Vec::new(), Vec::new())
+        } else {
+            (vec![vec![0u64; n]], vec![(0..n).collect::<Vec<usize>>()])
+        };
+        ObstCordon {
+            pre: prefix_sums(weights),
+            d,
+            root,
+            len: 2,
+            n,
+        }
+    }
+}
+
+impl PhaseParallel for ObstCordon {
+    type Output = ObstTables;
+
+    fn is_done(&self) -> bool {
+        self.len > self.n
+    }
+
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        let (len, n) = (self.len, self.n);
+        let pre = &self.pre;
+        let wsum = |i: usize, j: usize| pre[j + 1] - pre[i];
         let count = n - len + 1;
-        let (prev_roots, shorter_d) = (&root, &d);
+        let (prev_roots, shorter_d) = (&self.root, &self.d);
         let row: Vec<(u64, usize, u64)> = (0..count)
             .into_par_iter()
             .map(|i| {
@@ -174,14 +257,23 @@ pub fn parallel_obst(weights: &[u64]) -> ObstResult {
             edge_total += e;
         }
         metrics.add_edges(edge_total);
-        metrics.add_round();
-        metrics.add_states(count as u64);
-        d.push(d_row);
-        root.push(r_row);
+        self.d.push(d_row);
+        self.root.push(r_row);
+        self.len += 1;
+        count
     }
-    ObstResult {
-        cost: d[n - 1][0],
-        metrics: metrics.snapshot(),
+
+    fn finish(self) -> Self::Output {
+        ObstTables {
+            d: self.d,
+            root: self.root,
+            n: self.n,
+        }
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        // One round per diagonal of length >= 2: n - 1 rounds.
+        Some(self.n.saturating_sub(1) as u64)
     }
 }
 

@@ -5,15 +5,23 @@
 //! a polylogarithmic factor).  On machines with few cores, wall-clock speedup
 //! says little, so every algorithm in this workspace reports a [`Metrics`]
 //! snapshot: how many states were relaxed, how many transitions (edges) were
-//! evaluated, how many cordon rounds were executed, and how many states were
-//! touched "wastefully" by prefix doubling.  The benchmark harness prints
-//! these next to the running times so the work-efficiency claims can be
-//! checked directly against the sequential baselines.
+//! evaluated, how many cordon rounds were executed, the size of every round's
+//! frontier, and how many states were touched "wastefully" by prefix doubling.
+//! The benchmark harness prints these next to the running times so the
+//! work-efficiency claims can be checked directly against the sequential
+//! baselines.
+//!
+//! Round accounting has a single source of truth: the phase-parallel driver
+//! (`pardp_core::run_phase_parallel`) calls [`MetricsCollector::record_round`]
+//! once per cordon round, which keeps `rounds`, `states_finalized` and
+//! `frontier_sizes` consistent by construction for every parallel algorithm.
+//! Sequential and naive baselines use the fine-grained `add_*` methods.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Immutable snapshot of the counters collected during one algorithm run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Metrics {
     /// Number of cordon rounds (phase-parallel iterations).  For sequential
     /// algorithms this is 0.
@@ -27,6 +35,9 @@ pub struct Metrics {
     pub wasted_states: u64,
     /// Number of binary-search probes performed in best-decision structures.
     pub probes: u64,
+    /// Size of each cordon round's frontier, in execution order.  Populated by
+    /// the phase-parallel driver; empty for sequential algorithms.
+    pub frontier_sizes: Vec<u64>,
 }
 
 impl Metrics {
@@ -36,11 +47,27 @@ impl Metrics {
     pub fn work_proxy(&self) -> u64 {
         self.edges_relaxed + self.probes
     }
+
+    /// Largest frontier over all rounds (0 when no rounds ran).
+    pub fn max_frontier(&self) -> u64 {
+        self.frontier_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean frontier size over all rounds (0.0 when no rounds ran).
+    pub fn mean_frontier(&self) -> f64 {
+        if self.frontier_sizes.is_empty() {
+            0.0
+        } else {
+            self.frontier_sizes.iter().sum::<u64>() as f64 / self.frontier_sizes.len() as f64
+        }
+    }
 }
 
 /// Thread-safe collector used while an algorithm runs.
 ///
-/// All counters are relaxed atomics: they are statistics, not synchronization.
+/// The scalar counters are relaxed atomics: they are statistics, not
+/// synchronization.  The per-round frontier log is mutex-guarded, but it is
+/// only touched once per round (by the driver), never inside parallel loops.
 #[derive(Debug, Default)]
 pub struct MetricsCollector {
     rounds: AtomicU64,
@@ -48,6 +75,7 @@ pub struct MetricsCollector {
     edges_relaxed: AtomicU64,
     wasted_states: AtomicU64,
     probes: AtomicU64,
+    frontier_sizes: Mutex<Vec<u64>>,
 }
 
 impl MetricsCollector {
@@ -56,7 +84,21 @@ impl MetricsCollector {
         Self::default()
     }
 
-    /// Record one cordon round.
+    /// Record one cordon round that finalized `frontier` states.  This is the
+    /// driver's entry point: it advances `rounds`, `states_finalized` and the
+    /// frontier log together so they cannot drift apart.
+    #[inline]
+    pub fn record_round(&self, frontier: u64) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.states_finalized.fetch_add(frontier, Ordering::Relaxed);
+        self.frontier_sizes
+            .lock()
+            .expect("frontier log poisoned")
+            .push(frontier);
+    }
+
+    /// Record one cordon round without frontier bookkeeping (sequential and
+    /// naive baselines that only track a round count).
     #[inline]
     pub fn add_round(&self) {
         self.rounds.fetch_add(1, Ordering::Relaxed);
@@ -95,6 +137,11 @@ impl MetricsCollector {
             edges_relaxed: self.edges_relaxed.load(Ordering::Relaxed),
             wasted_states: self.wasted_states.load(Ordering::Relaxed),
             probes: self.probes.load(Ordering::Relaxed),
+            frontier_sizes: self
+                .frontier_sizes
+                .lock()
+                .expect("frontier log poisoned")
+                .clone(),
         }
     }
 }
@@ -121,12 +168,29 @@ mod tests {
         assert_eq!(m.wasted_states, 3);
         assert_eq!(m.probes, 11);
         assert_eq!(m.work_proxy(), 23);
+        assert!(m.frontier_sizes.is_empty(), "add_round logs no frontier");
+    }
+
+    #[test]
+    fn record_round_keeps_round_accounting_consistent() {
+        let c = MetricsCollector::new();
+        c.record_round(3);
+        c.record_round(5);
+        c.record_round(1);
+        let m = c.snapshot();
+        assert_eq!(m.rounds, 3);
+        assert_eq!(m.states_finalized, 9);
+        assert_eq!(m.frontier_sizes, vec![3, 5, 1]);
+        assert_eq!(m.max_frontier(), 5);
+        assert!((m.mean_frontier() - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn default_snapshot_is_zero() {
         let c = MetricsCollector::new();
         assert_eq!(c.snapshot(), Metrics::default());
+        assert_eq!(c.snapshot().max_frontier(), 0);
+        assert_eq!(c.snapshot().mean_frontier(), 0.0);
     }
 
     #[test]

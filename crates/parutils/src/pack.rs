@@ -12,11 +12,7 @@ where
     if items.len() < SEQ_CUTOFF {
         items.iter().filter(|x| pred(x)).cloned().collect()
     } else {
-        items
-            .par_iter()
-            .filter(|x| pred(x))
-            .cloned()
-            .collect()
+        items.par_iter().filter(|x| pred(x)).cloned().collect()
     }
 }
 

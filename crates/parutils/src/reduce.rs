@@ -14,10 +14,7 @@ where
     if items.len() < SEQ_CUTOFF {
         items.iter().cloned().fold(id, &op)
     } else {
-        items
-            .par_iter()
-            .cloned()
-            .reduce(|| id.clone(), &op)
+        items.par_iter().cloned().reduce(|| id.clone(), &op)
     }
 }
 
@@ -93,7 +90,9 @@ mod tests {
 
     #[test]
     fn min_value_matches_iterator_min() {
-        let v: Vec<i64> = (0..50_000).map(|i| ((i * 2654435761u64 as i64) % 9973) - 500).collect();
+        let v: Vec<i64> = (0..50_000)
+            .map(|i| ((i * 2654435761u64 as i64) % 9973) - 500)
+            .collect();
         assert_eq!(par_min_value(&v), v.iter().copied().min());
         let empty: Vec<i64> = vec![];
         assert_eq!(par_min_value(&empty), None);

@@ -18,7 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pardp_parutils::maybe_join;
+use pardp_core::PhaseParallel;
+use pardp_parutils::{maybe_join, MetricsCollector};
 
 /// Whether an earlier element with an *equal* key blocks a later element from
 /// being a prefix-minimum record.
@@ -221,6 +222,65 @@ impl<K: Ord + Copy + Send + Sync> TournamentTree<K> {
     }
 }
 
+/// [`PhaseParallel`] instance over a tournament tree: round `r` extracts every
+/// prefix-minimum record and assigns it DP value `r`.
+///
+/// This is the shared cordon of Sec. 3 — parallel LIS runs it over the input
+/// values, parallel sparse LCS over the `j` keys of the canonically sorted
+/// matching pairs — so both problems delegate to this one implementation.
+pub struct StaircaseCordon<K> {
+    tree: TournamentTree<K>,
+    values: Vec<u32>,
+    round: u32,
+    remaining: usize,
+}
+
+impl<K: Ord + Copy + Send + Sync> StaircaseCordon<K> {
+    /// Build the tournament tree over `keys` with the given tie rule.
+    pub fn new(keys: &[K], rule: TieRule) -> Self {
+        StaircaseCordon {
+            tree: TournamentTree::new(keys, rule),
+            values: vec![0u32; keys.len()],
+            round: 0,
+            remaining: keys.len(),
+        }
+    }
+}
+
+impl<K: Ord + Copy + Send + Sync> PhaseParallel for StaircaseCordon<K> {
+    /// Per-position DP values (the round each position was extracted in) plus
+    /// the number of rounds, i.e. the staircase depth.
+    type Output = (Vec<u32>, u32);
+
+    fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        let records = self.tree.extract_prefix_minima();
+        if records.is_empty() {
+            return 0;
+        }
+        self.round += 1;
+        metrics.add_edges(records.len() as u64);
+        self.remaining -= records.len();
+        for (pos, _) in records.iter() {
+            self.values[*pos] = self.round;
+        }
+        records.len()
+    }
+
+    fn finish(self) -> Self::Output {
+        (self.values, self.round)
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        // The staircase depth never exceeds the number of elements (Theorems
+        // 3.1 and 3.2: it equals the LIS/LCS length).
+        Some(self.remaining as u64)
+    }
+}
+
 /// Reference (sequential, quadratic-free) computation of the prefix-minimum
 /// records of one round over `keys`, used as an oracle in tests.
 pub fn reference_prefix_minima<K: Ord + Copy>(
@@ -273,15 +333,9 @@ mod tests {
         let keys = [7u64, 3, 6, 8, 1, 4, 2, 5];
         let mut tree = TournamentTree::new(&keys, TieRule::TiesAreRecords);
         // Round 1: prefix minima are 7, 3, 1 (positions 0, 1, 4).
-        assert_eq!(
-            tree.extract_prefix_minima(),
-            vec![(0, 7), (1, 3), (4, 1)]
-        );
+        assert_eq!(tree.extract_prefix_minima(), vec![(0, 7), (1, 3), (4, 1)]);
         // Round 2: remaining 6 8 4 2 5 -> prefix minima 6, 4, 2.
-        assert_eq!(
-            tree.extract_prefix_minima(),
-            vec![(2, 6), (5, 4), (6, 2)]
-        );
+        assert_eq!(tree.extract_prefix_minima(), vec![(2, 6), (5, 4), (6, 2)]);
         // Round 3: remaining 8 5 -> prefix minima 8, 5.
         assert_eq!(tree.extract_prefix_minima(), vec![(3, 8), (7, 5)]);
         assert!(tree.extract_prefix_minima().is_empty());
@@ -354,7 +408,9 @@ mod tests {
     #[test]
     fn large_input_fully_drains() {
         let n = 100_000usize;
-        let keys: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let keys: Vec<u64> = (0..n as u64)
+            .map(|i| (i * 2654435761) % 1_000_003)
+            .collect();
         let mut tree = TournamentTree::new(&keys, TieRule::TiesAreRecords);
         let mut total = 0usize;
         let mut rounds = 0usize;

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use pardp_core::{run_phase_parallel, PhaseParallel};
 use pardp_parutils::{Metrics, MetricsCollector};
 use rayon::prelude::*;
 
@@ -149,35 +150,75 @@ where
     E: Fn(i64, usize) -> i64 + Sync,
 {
     let metrics = MetricsCollector::new();
-    let n = inst.n();
-    let mut d = vec![0i64; n + 1];
-    let mut best = vec![0usize; n + 1];
-    d[0] = inst.d0;
-    if n == 0 {
-        return TreeGlwsResult {
-            d,
-            best,
-            metrics: metrics.snapshot(),
-        };
+    let (d, best) = run_phase_parallel(TreeGlwsCordon::new(inst), &metrics);
+    TreeGlwsResult {
+        d,
+        best,
+        metrics: metrics.snapshot(),
     }
+}
 
-    // Group nodes by depth (number of edges from the root).
-    let mut depth = vec![0usize; n + 1];
-    let mut max_depth = 0;
-    for v in 1..=n {
-        depth[v] = depth[inst.parent[v]] + 1;
-        max_depth = max_depth.max(depth[v]);
-    }
-    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth + 1];
-    for v in 1..=n {
-        levels[depth[v]].push(v);
-    }
+/// [`PhaseParallel`] instance for Tree-GLWS: frontiers are the tree's depth
+/// levels (all decisions of a node are proper ancestors, hence in earlier
+/// frontiers), each evaluated in parallel.
+pub struct TreeGlwsCordon<'a, W, E> {
+    inst: &'a TreeGlwsInstance<W, E>,
+    /// Nodes grouped by depth, `levels[0]` holding depth-1 nodes; depths are
+    /// contiguous so no level is empty.
+    levels: Vec<Vec<usize>>,
+    depth: Vec<usize>,
+    next_level: usize,
+    d: Vec<i64>,
+    best: Vec<usize>,
+}
 
-    for level in levels.iter().skip(1) {
-        if level.is_empty() {
-            continue;
+impl<'a, W, E> TreeGlwsCordon<'a, W, E>
+where
+    W: Fn(u64, u64) -> i64 + Sync,
+    E: Fn(i64, usize) -> i64 + Sync,
+{
+    /// Group the nodes by depth and initialize the DP arrays.
+    pub fn new(inst: &'a TreeGlwsInstance<W, E>) -> Self {
+        let n = inst.n();
+        let mut d = vec![0i64; n + 1];
+        d[0] = inst.d0;
+        let mut depth = vec![0usize; n + 1];
+        let mut max_depth = 0;
+        for v in 1..=n {
+            depth[v] = depth[inst.parent[v]] + 1;
+            max_depth = max_depth.max(depth[v]);
         }
-        let d_ref = &d;
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth];
+        for v in 1..=n {
+            levels[depth[v] - 1].push(v);
+        }
+        TreeGlwsCordon {
+            inst,
+            levels,
+            depth,
+            next_level: 0,
+            d,
+            best: vec![0usize; n + 1],
+        }
+    }
+}
+
+impl<W, E> PhaseParallel for TreeGlwsCordon<'_, W, E>
+where
+    W: Fn(u64, u64) -> i64 + Sync,
+    E: Fn(i64, usize) -> i64 + Sync,
+{
+    /// DP values plus the best ancestor decision of every node.
+    type Output = (Vec<i64>, Vec<usize>);
+
+    fn is_done(&self) -> bool {
+        self.next_level >= self.levels.len()
+    }
+
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        let inst = self.inst;
+        let level = &self.levels[self.next_level];
+        let d_ref = &self.d;
         let results: Vec<(usize, i64, usize)> = level
             .par_iter()
             .map(|&v| {
@@ -198,19 +239,23 @@ where
                 (v, bv, bu)
             })
             .collect();
-        metrics.add_round();
-        metrics.add_states(level.len() as u64);
-        metrics.add_edges(results.iter().map(|&(v, _, _)| depth[v] as u64).sum());
+        metrics.add_edges(results.iter().map(|&(v, _, _)| self.depth[v] as u64).sum());
+        let size = level.len();
         for (v, bv, bu) in results {
-            d[v] = bv;
-            best[v] = bu;
+            self.d[v] = bv;
+            self.best[v] = bu;
         }
+        self.next_level += 1;
+        size
     }
 
-    TreeGlwsResult {
-        d,
-        best,
-        metrics: metrics.snapshot(),
+    fn finish(self) -> Self::Output {
+        (self.d, self.best)
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        // One round per depth level: the tree height.
+        Some(self.levels.len() as u64)
     }
 }
 
@@ -261,7 +306,8 @@ mod tests {
         for seed in 0..6 {
             for &bias in &[0u64, 40, 90] {
                 let (parent, lens) = random_tree(200, bias, seed);
-                let inst = TreeGlwsInstance::new(parent, &lens, 5, convex_w, |d, u| d + (u % 3) as i64);
+                let inst =
+                    TreeGlwsInstance::new(parent, &lens, 5, convex_w, |d, u| d + (u % 3) as i64);
                 let want = naive_tree_glws(&inst);
                 let got = parallel_tree_glws(&inst);
                 assert_eq!(got.d, want.d, "seed {seed} bias {bias}");

@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// DP recurrences read most naturally with explicit state indices.
+#![allow(clippy::needless_range_loop)]
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -111,7 +113,11 @@ pub fn strings_with_common_subsequence(
     let half = alphabet / 2;
     let quarter = (alphabet - half) / 2;
     let a = make(&mut r, half, half + quarter.max(1));
-    let b = make(&mut r, half + quarter.max(1), alphabet.max(half + quarter.max(1) + 1));
+    let b = make(
+        &mut r,
+        half + quarter.max(1),
+        alphabet.max(half + quarter.max(1) + 1),
+    );
     (a, b)
 }
 
@@ -338,11 +344,7 @@ mod tests {
         assert!(inst.coords.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(inst.clusters, 9);
         // The gap structure: exactly k-1 gaps larger than the open-cost scale.
-        let big_gaps = inst
-            .coords
-            .windows(2)
-            .filter(|w| w[1] - w[0] > 2)
-            .count();
+        let big_gaps = inst.coords.windows(2).filter(|w| w[1] - w[0] > 2).count();
         assert_eq!(big_gaps, 8);
     }
 
@@ -383,7 +385,7 @@ mod tests {
     #[test]
     fn weights_are_positive_and_bounded() {
         let w = positive_weights(1000, 1 << 20, 4);
-        assert!(w.iter().all(|&x| x >= 1 && x <= 1 << 20));
+        assert!(w.iter().all(|&x| (1..=1 << 20).contains(&x)));
         let s = skewed_weights(1000, 1 << 20, 64, 4);
         assert_eq!(s.len(), 1000);
         assert!(s.iter().all(|&x| x >= 1));

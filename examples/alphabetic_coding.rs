@@ -17,7 +17,11 @@ fn main() {
     let total: u64 = freqs.iter().sum();
 
     let oat = garsia_wachs(&freqs);
-    assert_eq!(oat.cost, interval_dp_oat(&freqs), "Garsia–Wachs must be optimal");
+    assert_eq!(
+        oat.cost,
+        interval_dp_oat(&freqs),
+        "Garsia–Wachs must be optimal"
+    );
 
     let balanced_depth = (n as f64).log2().ceil() as u64;
     let balanced_cost = total * balanced_depth;

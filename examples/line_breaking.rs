@@ -27,7 +27,7 @@ fn main() {
     for (i, w) in words.iter().enumerate() {
         pre[i + 1] = pre[i] + w.len() as i64;
     }
-    let line_len = move |j: usize, i: usize| pre[i] - pre[j] + (i - j - 1).max(0) as i64;
+    let line_len = move |j: usize, i: usize| pre[i] - pre[j] + (i - j - 1) as i64;
     // Badness: cubed deviation from the target width (convex in the line span).
     let badness = move |j: usize, i: usize| {
         let dev = (line_len(j, i) - width).abs();

@@ -23,7 +23,10 @@ fn main() {
     println!("villages: {n}, planted clusters: {k}");
     println!("optimal total cost: {}", par.d[n]);
     println!("offices used:       {}", par.decision_depth(n));
-    println!("cordon rounds:      {} (equals #offices — Lemma 4.5)", par.metrics.rounds);
+    println!(
+        "cordon rounds:      {} (equals #offices — Lemma 4.5)",
+        par.metrics.rounds
+    );
     println!(
         "work proxy:         parallel {} vs sequential {} (near work-efficiency)",
         par.metrics.work_proxy(),

@@ -32,6 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use pardp_core::{try_run_phase_parallel_with_budget, PhaseParallel, StallError};
+use pardp_parutils::{Metrics, MetricsCollector};
+
 pub use pardp_core as core;
 pub use pardp_gap as gap;
 pub use pardp_glws as glws;
@@ -44,26 +47,112 @@ pub use pardp_tournament as tournament;
 pub use pardp_treedp as treedp;
 pub use pardp_workloads as workloads;
 
+/// Unified entry point for running any [`PhaseParallel`] instance through the
+/// shared cordon engine, with optional round-budget tightening.
+///
+/// Every parallel algorithm in the workspace is an instance of the same
+/// engine; this solver makes that explicit at the facade level:
+///
+/// ```
+/// use parallel_dp::prelude::*;
+///
+/// let solver = CordonSolver::new();
+/// let a = vec![7i64, 3, 6, 8, 1, 4, 2, 5];
+/// let run = solver.run(LisCordon::new(&a));
+/// let (d, length) = run.output;
+/// assert_eq!(length, 3);
+/// assert_eq!(run.metrics.rounds, 3);                     // Theorem 3.1
+/// assert_eq!(run.metrics.frontier_sizes, vec![3, 3, 2]); // per-round telemetry
+/// assert_eq!(d, vec![1, 1, 2, 3, 1, 2, 2, 3]);
+/// ```
+///
+/// The same call shape works for `LcsCordon`, `ConvexGlwsCordon`,
+/// `ConcaveGlwsCordon`, `KGlwsCordon`, `GapCordon`, `TreeGlwsCordon` and
+/// `ObstCordon`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CordonSolver {
+    round_budget: Option<u64>,
+}
+
+/// Output of a [`CordonSolver`] run: the instance's result plus the engine's
+/// round/work telemetry.
+#[derive(Debug, Clone)]
+pub struct CordonOutcome<T> {
+    /// Whatever the instance's `finish()` produced.
+    pub output: T,
+    /// Rounds, per-round frontier sizes, and work counters.
+    pub metrics: Metrics,
+}
+
+impl CordonSolver {
+    /// Solver with no caller-side budget (instances still enforce their own).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tighten the stall guard: abort any run exceeding `rounds` rounds, even
+    /// if the instance's own budget is looser.
+    pub fn with_round_budget(rounds: u64) -> Self {
+        CordonSolver {
+            round_budget: Some(rounds),
+        }
+    }
+
+    /// Run `instance` to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the typed stall message if the instance stalls or exceeds
+    /// the round budget (see `pardp_core::StallError`).
+    pub fn run<P: PhaseParallel>(&self, instance: P) -> CordonOutcome<P::Output> {
+        match self.try_run(instance) {
+            Ok(outcome) => outcome,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Run `instance` to completion, returning the typed [`StallError`] on
+    /// failure instead of panicking.
+    pub fn try_run<P: PhaseParallel>(
+        &self,
+        instance: P,
+    ) -> Result<CordonOutcome<P::Output>, StallError> {
+        let metrics = MetricsCollector::new();
+        let output = try_run_phase_parallel_with_budget(instance, &metrics, self.round_budget)?;
+        Ok(CordonOutcome {
+            output,
+            metrics: metrics.snapshot(),
+        })
+    }
+}
+
 /// The most commonly used types and functions, re-exported flat.
 pub mod prelude {
-    pub use pardp_core::{prefix_doubling_cordon, run_phase_parallel, PhaseParallel};
-    pub use pardp_gap::{convex_gap_instance, naive_gap, parallel_gap, sequential_gap, GapInstance};
+    pub use crate::{CordonOutcome, CordonSolver};
+    pub use pardp_core::{
+        prefix_doubling_cordon, run_phase_parallel, try_run_phase_parallel,
+        try_run_phase_parallel_with_budget, PhaseParallel, StallError,
+    };
+    pub use pardp_gap::{
+        convex_gap_instance, naive_gap, parallel_gap, sequential_gap, GapCordon, GapInstance,
+    };
     pub use pardp_glws::{
         naive_glws, naive_kglws, parallel_concave_glws, parallel_convex_glws, parallel_kglws,
-        sequential_concave_glws, sequential_convex_glws, ConcaveGapCost, ConvexGapCost,
-        GlwsProblem, GlwsResult, LinearGapCost, PostOfficeProblem,
+        sequential_concave_glws, sequential_convex_glws, ConcaveGapCost, ConcaveGlwsCordon,
+        ConvexGapCost, ConvexGlwsCordon, GlwsProblem, GlwsResult, KGlwsCordon, LinearGapCost,
+        PostOfficeProblem,
     };
     pub use pardp_lcs::{
         dense_lcs, matching_pairs, parallel_lcs_of, parallel_sparse_lcs, sequential_sparse_lcs,
-        LcsResult, MatchPair,
+        LcsCordon, LcsResult, MatchPair,
     };
-    pub use pardp_lis::{naive_lis, parallel_lis, sequential_lis, LisResult};
-    pub use pardp_oat::{garsia_wachs, interval_dp_oat, oat_height_bound, OatResult};
-    pub use pardp_obst::{knuth_obst, naive_obst, parallel_obst, ObstResult};
+    pub use pardp_lis::{naive_lis, parallel_lis, sequential_lis, LisCordon, LisResult};
+    pub use pardp_oat::{garsia_wachs, interval_dp_oat, oat_height_bound, parallel_oat, OatResult};
+    pub use pardp_obst::{knuth_obst, naive_obst, parallel_obst, ObstCordon, ObstResult};
     pub use pardp_parutils::{with_threads, Metrics, MetricsCollector};
     pub use pardp_tournament::{TieRule, TournamentTree};
     pub use pardp_treedp::{
-        naive_tree_glws, parallel_tree_glws, sequential_tree_glws, TreeGlwsInstance,
+        naive_tree_glws, parallel_tree_glws, sequential_tree_glws, TreeGlwsCordon, TreeGlwsInstance,
     };
     pub use pardp_workloads as workloads;
 }

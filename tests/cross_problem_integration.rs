@@ -93,10 +93,16 @@ fn tree_glws_on_a_path_equals_sequence_glws() {
     let n = 300usize;
     let parent: Vec<usize> = (0..=n).map(|v| v.saturating_sub(1)).collect();
     let lens = vec![1u64; n + 1];
-    let tree = TreeGlwsInstance::new(parent, &lens, 0, |du, dv| {
-        let len = (dv - du) as i64;
-        50 + len * len
-    }, |d, _| d);
+    let tree = TreeGlwsInstance::new(
+        parent,
+        &lens,
+        0,
+        |du, dv| {
+            let len = (dv - du) as i64;
+            50 + len * len
+        },
+        |d, _| d,
+    );
     let tree_res = parallel_tree_glws(&tree);
     let line = ConvexGapCost::new(n, 50, 0, 1);
     let line_res = parallel_convex_glws(&line);

@@ -1,0 +1,169 @@
+//! Round-accounting tests for the unified phase-parallel engine: the paper's
+//! round-count theorems asserted *through the shared driver*, the per-round
+//! frontier telemetry every parallel algorithm now reports, and the typed
+//! stall guard.
+
+use parallel_dp::prelude::*;
+use parallel_dp::workloads;
+
+/// frontier_sizes must be one entry per round and sum to the states the
+/// driver finalized.
+fn assert_frontier_telemetry_consistent(m: &Metrics) {
+    assert_eq!(m.frontier_sizes.len() as u64, m.rounds);
+    assert_eq!(m.frontier_sizes.iter().sum::<u64>(), m.states_finalized);
+    assert!(m.frontier_sizes.iter().all(|&f| f > 0));
+}
+
+#[test]
+fn lis_rounds_equal_lis_length_through_the_driver() {
+    // Theorem 3.1: the cordon LIS finishes in exactly k rounds.
+    for &(n, k) in &[(2_000usize, 1usize), (2_000, 37), (2_000, 2_000)] {
+        let a = workloads::lis_with_length(n, k, 5);
+        let run = CordonSolver::new().run(LisCordon::new(&a));
+        let (_, length) = run.output;
+        assert_eq!(length as usize, k);
+        assert_eq!(run.metrics.rounds as usize, k);
+        assert_frontier_telemetry_consistent(&run.metrics);
+        assert_eq!(run.metrics.states_finalized as usize, n);
+    }
+}
+
+#[test]
+fn convex_glws_rounds_equal_segment_count_through_the_driver() {
+    // Lemma 4.5: the convex cordon runs in exactly as many rounds as the
+    // number of segments (post offices) in the optimal solution.
+    for &(n, k) in &[(3_000usize, 3usize), (3_000, 57)] {
+        let inst = workloads::post_office_instance(n, k, 1);
+        let p = PostOfficeProblem::new(inst.coords, inst.open_cost);
+        let result = parallel_convex_glws(&p);
+        assert_eq!(result.decision_depth(n), k, "optimal segment count");
+        assert_eq!(result.metrics.rounds as usize, k, "rounds == #segments");
+        assert_eq!(result.metrics.rounds as usize, result.perfect_depth());
+        assert_frontier_telemetry_consistent(&result.metrics);
+    }
+}
+
+#[test]
+fn every_parallel_algorithm_reports_per_round_frontiers() {
+    // LIS
+    let a = workloads::random_sequence(500, 1 << 16, 3);
+    assert_frontier_telemetry_consistent(&parallel_lis(&a).metrics);
+
+    // Sparse LCS
+    let pairs: Vec<MatchPair> = workloads::lcs_pairs_with(400, 23, 4)
+        .into_iter()
+        .map(|(i, j)| MatchPair { i, j })
+        .collect();
+    assert_frontier_telemetry_consistent(&parallel_sparse_lcs(&pairs).metrics);
+
+    // Convex GLWS
+    let inst = workloads::post_office_instance(600, 9, 5);
+    let p = PostOfficeProblem::new(inst.coords, inst.open_cost);
+    assert_frontier_telemetry_consistent(&parallel_convex_glws(&p).metrics);
+
+    // Concave GLWS
+    let c = ConcaveGapCost::new(300, 20, 3);
+    assert_frontier_telemetry_consistent(&parallel_concave_glws(&c).metrics);
+
+    // k-GLWS: one round per layer, each frontier spanning a full layer.
+    let kg = parallel_kglws(&p, 4);
+    assert_eq!(kg.metrics.rounds, 4);
+    assert_frontier_telemetry_consistent(&kg.metrics);
+
+    // GAP: anti-diagonal frontiers of the grid.
+    let (s1, s2) = workloads::gap_strings(40, 35, 4, 7);
+    let gi = convex_gap_instance(&s1, &s2, 4, 1, 1);
+    let gr = parallel_gap(&gi);
+    assert_eq!(gr.metrics.rounds as usize, 40 + 35);
+    assert_frontier_telemetry_consistent(&gr.metrics);
+
+    // Tree-GLWS: one frontier per depth level.
+    let parent = workloads::random_tree(300, 60, 9);
+    let lens = workloads::tree_edge_lengths(300, 4, 9);
+    let ti = TreeGlwsInstance::new(
+        parent,
+        &lens,
+        0,
+        |du, dv| {
+            let len = (dv - du) as i64;
+            12 + len * len
+        },
+        |d, _| d,
+    );
+    assert_frontier_telemetry_consistent(&parallel_tree_glws(&ti).metrics);
+
+    // OBST: one frontier per diagonal.
+    let w = workloads::positive_weights(60, 1000, 2);
+    let ob = parallel_obst(&w);
+    assert_eq!(ob.metrics.rounds, 59);
+    assert_frontier_telemetry_consistent(&ob.metrics);
+
+    // OAT through the same interval cordon.
+    assert_frontier_telemetry_consistent(&parallel_oat(&w).metrics);
+
+    // The explicit-DAG reference.
+    use parallel_dp::core::{EdgeWeightedDag, Objective};
+    let mut dag = EdgeWeightedDag::new(50, Objective::Maximize);
+    let seq = workloads::random_sequence(50, 100, 11);
+    for i in 0..50 {
+        dag.set_boundary(i, 1);
+        for j in 0..i {
+            if seq[j] < seq[i] {
+                dag.add_edge(j, i, 1);
+            }
+        }
+    }
+    assert_frontier_telemetry_consistent(&dag.solve_cordon().metrics);
+}
+
+#[test]
+fn kglws_frontier_sizes_are_the_layer_widths() {
+    let inst = workloads::post_office_instance(100, 5, 8);
+    let p = PostOfficeProblem::new(inst.coords, inst.open_cost);
+    let r = parallel_kglws(&p, 3);
+    // Layer k' holds the states k'..=n: n + 1 - k' of them.
+    assert_eq!(r.metrics.frontier_sizes, vec![100, 99, 98]);
+}
+
+#[test]
+fn cordon_solver_budget_override_trips_the_typed_stall_guard() {
+    let a = workloads::lis_with_length(1_000, 50, 2);
+    // 50 rounds are needed; a budget of 10 must fail with the typed error.
+    let err = CordonSolver::with_round_budget(10)
+        .try_run(LisCordon::new(&a))
+        .unwrap_err();
+    match err {
+        StallError::BudgetExhausted { budget, .. } => assert_eq!(budget, 10),
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    // A budget of exactly 50 succeeds.
+    let run = CordonSolver::with_round_budget(50).run(LisCordon::new(&a));
+    assert_eq!(run.metrics.rounds, 50);
+}
+
+#[test]
+fn stall_errors_render_the_shared_message_constants() {
+    use parallel_dp::core::{STALL_BUDGET_MSG, STALL_NO_PROGRESS_MSG};
+    let no_progress = StallError::NoProgress {
+        rounds_completed: 7,
+    };
+    assert!(no_progress.to_string().contains(STALL_NO_PROGRESS_MSG));
+    let budget = StallError::BudgetExhausted {
+        budget: 3,
+        states_finalized: 12,
+    };
+    assert!(budget.to_string().contains(STALL_BUDGET_MSG));
+}
+
+#[test]
+fn solver_metrics_match_the_wrapper_functions() {
+    // CordonSolver::run and the per-problem wrappers drive the same engine,
+    // so their telemetry must agree exactly.
+    let a = workloads::random_sequence(800, 1 << 12, 13);
+    let via_wrapper = parallel_lis(&a);
+    let via_solver = CordonSolver::new().run(LisCordon::new(&a));
+    assert_eq!(via_solver.metrics, via_wrapper.metrics);
+    let (d, length) = via_solver.output;
+    assert_eq!(d, via_wrapper.d);
+    assert_eq!(length, via_wrapper.length);
+}

@@ -15,7 +15,11 @@ fn cordon_equals_topological_on_random_layered_dags() {
             state
         };
         let n = 60;
-        let objective = if seed % 2 == 0 { Objective::Minimize } else { Objective::Maximize };
+        let objective = if seed % 2 == 0 {
+            Objective::Minimize
+        } else {
+            Objective::Maximize
+        };
         let mut dag = EdgeWeightedDag::new(n, objective);
         dag.set_boundary(0, 0);
         for i in 1..n {

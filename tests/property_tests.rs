@@ -120,6 +120,43 @@ proptest! {
     }
 
     #[test]
+    fn prop_engine_driven_lis_matches_naive_oracle(
+        values in prop::collection::vec(-500i64..500, 0..250),
+    ) {
+        // The CordonSolver path (explicit engine entry point) must agree with
+        // the naive oracle and report consistent frontier telemetry.
+        let run = CordonSolver::new().run(LisCordon::new(&values));
+        let (d, length) = run.output;
+        let want = naive_lis(&values);
+        prop_assert_eq!(&d, &want.d);
+        prop_assert_eq!(length, want.length);
+        prop_assert_eq!(run.metrics.rounds, want.length as u64);
+        prop_assert_eq!(run.metrics.frontier_sizes.len() as u64, run.metrics.rounds);
+        prop_assert_eq!(
+            run.metrics.frontier_sizes.iter().sum::<u64>(),
+            values.len() as u64
+        );
+    }
+
+    #[test]
+    fn prop_engine_driven_glws_matches_naive_oracle(
+        gaps in prop::collection::vec(1i64..40, 1..150),
+        open in 0i64..3000,
+    ) {
+        let mut coords = Vec::with_capacity(gaps.len());
+        let mut x = 0i64;
+        for g in &gaps {
+            x += g;
+            coords.push(x);
+        }
+        let p = PostOfficeProblem::new(coords, open);
+        let run = CordonSolver::new().run(ConvexGlwsCordon::new(&p));
+        let (d, _) = run.output;
+        prop_assert_eq!(&d, &naive_glws(&p).d);
+        prop_assert_eq!(run.metrics.frontier_sizes.len() as u64, run.metrics.rounds);
+    }
+
+    #[test]
     fn prop_tree_glws_parallel_matches_naive(
         parents_seed in 0u64..1000,
         n in 1usize..120,
