@@ -4,8 +4,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pardp_glws::{naive_kglws, parallel_kglws, PostOfficeProblem};
 use pardp_obst::{knuth_obst, naive_obst, parallel_obst};
-use pardp_treedp::{naive_tree_glws, parallel_tree_glws, TreeGlwsInstance};
-use pardp_workloads::{positive_weights, post_office_instance, random_tree, tree_edge_lengths};
+use pardp_treedp::{
+    naive_tree_glws, parallel_tree_glws, parallel_tree_glws_hld, CostShape, TreeGlwsInstance,
+};
+use pardp_workloads::{
+    balanced_tree, caterpillar_tree, path_tree, positive_weights, post_office_instance,
+    random_tree, tree_edge_lengths,
+};
 use std::time::Duration;
 
 fn bench_kglws(c: &mut Criterion) {
@@ -60,6 +65,9 @@ fn bench_tree(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parallel_levels", bias), &inst, |b, i| {
             b.iter(|| parallel_tree_glws(i))
         });
+        group.bench_with_input(BenchmarkId::new("parallel_hld", bias), &inst, |b, i| {
+            b.iter(|| parallel_tree_glws_hld(i, CostShape::Convex))
+        });
         group.bench_with_input(BenchmarkId::new("sequential_scan", bias), &inst, |b, i| {
             b.iter(|| naive_tree_glws(i))
         });
@@ -67,5 +75,48 @@ fn bench_tree(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kglws, bench_obst, bench_tree);
+/// The Theorem 5.3 ablation sweep: old ancestor-rescan cordon vs the
+/// heavy-light one across tree *shapes*, from h ≈ n (path, caterpillar —
+/// where the rescan is quadratic) to h = Θ(log n) (balanced — where it was
+/// never the bottleneck).
+fn bench_tree_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_glws_shapes");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let n = 6_000usize;
+    let shapes: Vec<(&str, Vec<usize>)> = vec![
+        ("deep_path", path_tree(n)),
+        ("deep_caterpillar", caterpillar_tree(n, n / 2, 8)),
+        ("shallow_balanced", balanced_tree(n, 4)),
+    ];
+    for (name, parent) in shapes {
+        let lens = tree_edge_lengths(n, 3, 8);
+        let inst = TreeGlwsInstance::new(
+            parent,
+            &lens,
+            0,
+            |du, dv| {
+                let len = (dv - du) as i64;
+                25 + len * len
+            },
+            |d, _| d,
+        );
+        group.bench_with_input(BenchmarkId::new("old_cordon", name), &inst, |b, i| {
+            b.iter(|| parallel_tree_glws(i))
+        });
+        group.bench_with_input(BenchmarkId::new("hld_cordon", name), &inst, |b, i| {
+            b.iter(|| parallel_tree_glws_hld(i, CostShape::Convex))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kglws,
+    bench_obst,
+    bench_tree,
+    bench_tree_shapes
+);
 criterion_main!(benches);

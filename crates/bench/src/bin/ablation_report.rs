@@ -4,13 +4,16 @@
 //!   convex GLWS (how much probing work each strategy does),
 //! * A2 — tournament-tree cordon extraction vs a per-round rescan for LIS,
 //! * A3 — the two concave-GLWS merge strategies (position binary search vs
-//!   the paper's Algorithm 2).
+//!   the paper's Algorithm 2),
+//! * A4 — Tree-GLWS ancestor rescan vs heavy-light persistent envelopes
+//!   (Theorem 5.3) across tree shapes, with per-round frontier percentiles.
 
 use pardp_glws::{
     parallel_concave_glws_with, parallel_convex_glws, ConcaveGapCost, ConcaveMergeStrategy,
     PostOfficeProblem,
 };
 use pardp_lis::{parallel_lis, sequential_lis};
+use pardp_treedp::{parallel_tree_glws, parallel_tree_glws_hld, CostShape, TreeGlwsInstance};
 use pardp_workloads as workloads;
 use std::time::Instant;
 
@@ -63,5 +66,64 @@ fn main() {
         let p = ConcaveGapCost::new(200_000, 50, 3);
         let (t, r) = timed(|| parallel_concave_glws_with(&p, strat));
         println!("{:>22} {:>12.4} {:>12}", name, t, r.metrics.probes);
+    }
+
+    println!();
+    println!("== A4: Tree-GLWS ancestor rescan vs heavy-light envelopes (Theorem 5.3) ==");
+    println!(
+        "{:>18} {:>8} {:>8} {:>10} {:>12} {:>12} {:>8} {:>24}",
+        "shape",
+        "n",
+        "height",
+        "cordon",
+        "time (s)",
+        "work proxy",
+        "rounds",
+        "frontier p50/p90/p99/max"
+    );
+    let tn = 30_000usize;
+    let tree_shapes: Vec<(&str, Vec<usize>)> = vec![
+        ("path (h = n)", workloads::path_tree(tn)),
+        ("caterpillar", workloads::caterpillar_tree(tn, tn / 2, 4)),
+        ("random-attach", workloads::random_attachment_tree(tn, 4)),
+        ("balanced-4ary", workloads::balanced_tree(tn, 4)),
+    ];
+    for (shape, parent) in tree_shapes {
+        let lens = workloads::tree_edge_lengths(tn, 3, 4);
+        let height = workloads::tree_height(&parent);
+        let inst = TreeGlwsInstance::new(
+            parent,
+            &lens,
+            0,
+            |du, dv| {
+                let len = (dv - du) as i64;
+                25 + len * len
+            },
+            |d, _| d,
+        );
+        let (t_old, r_old) = timed(|| parallel_tree_glws(&inst));
+        let (t_hld, r_hld) = timed(|| parallel_tree_glws_hld(&inst, CostShape::Convex));
+        assert_eq!(r_old.d, r_hld.d);
+        assert_eq!(r_old.best, r_hld.best);
+        for (cordon, t, r) in [("rescan", t_old, &r_old), ("hld", t_hld, &r_hld)] {
+            let pct = r.metrics.frontier_percentiles(&[50.0, 90.0, 99.0]);
+            println!(
+                "{:>18} {:>8} {:>8} {:>10} {:>12.4} {:>12} {:>8} {:>24}",
+                shape,
+                tn,
+                height,
+                cordon,
+                t,
+                r.metrics.work_proxy(),
+                r.metrics.rounds,
+                format!(
+                    "{}/{}/{}/{}",
+                    pct[0],
+                    pct[1],
+                    pct[2],
+                    r.metrics.max_frontier()
+                )
+            );
+        }
     }
 }

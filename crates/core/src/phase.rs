@@ -75,9 +75,9 @@ impl std::error::Error for StallError {}
 ///
 /// Implementations exist in every problem crate (`LisCordon`, `LcsCordon`,
 /// `ConvexGlwsCordon`, `ConcaveGlwsCordon`, `KGlwsCordon`, `GapCordon`,
-/// `TreeGlwsCordon`, `ObstCordon`, and `core::explicit`'s reference
-/// instance); the facade's `CordonSolver` runs any of them through this one
-/// driver.
+/// `TreeGlwsCordon` and its work-efficient sibling `HldTreeGlwsCordon`,
+/// `ObstCordon`, and `core::explicit`'s reference instance); the facade's
+/// `CordonSolver` runs any of them through this one driver.
 pub trait PhaseParallel {
     /// Final result produced once all states are finalized.
     type Output;

@@ -1,0 +1,286 @@
+//! Persistent monotone best-decision envelopes over heavy paths.
+//!
+//! Along one heavy path the settled nodes `u_0, u_1, …` (in increasing path
+//! position, i.e. increasing root distance) define a family of candidate
+//! functions `f_u(x) = E[u] + w(d_u, x)` over query distances `x`.  For a
+//! convex transition cost, once a deeper candidate is at least as good as a
+//! shallower one it stays at least as good for every larger `x` (the classical
+//! suffix decision monotonicity of GLWS); for a concave cost the relation is
+//! mirrored to a prefix.  Either way the lower envelope of the family is a
+//! *monotone stack*: candidates in position order, each winning on one
+//! contiguous `x`-interval delimited by a single takeover key.
+//!
+//! The Tree-GLWS cordon needs more than the current envelope, though: a node
+//! whose ancestor chain enters a heavy path at position `p` may only consult
+//! candidates at positions `0..=p`, and `p` varies per query while the path
+//! keeps settling deeper positions.  The arena below therefore keeps the stack
+//! *persistent*: pushing never destroys entries, a "pop" merely moves the
+//! top-of-stack pointer, and the entry created when position `p` settled *is*
+//! the version of the envelope restricted to positions `0..=p`.  Entries carry
+//! binary-lifting pointers down the stack so one prefix query costs
+//! `O(log n)` key comparisons and **zero** cost-function evaluations; cost
+//! evaluations happen only inside the per-push takeover binary searches, which
+//! amortize to `O(log maxdist)` per settled node.
+
+use crate::CostShape;
+
+/// Sentinel for "no entry" in the arena's `u32` index space.
+pub(crate) const NO_ENTRY: u32 = u32::MAX;
+
+/// Arena of persistent monotone-stack entries shared by every heavy path of
+/// one Tree-GLWS instance.  Each node of the tree is pushed exactly once, so
+/// the arena holds `n + 1` entries at the end of a run.
+pub(crate) struct EnvelopeArena {
+    /// Tree node of each entry.
+    node: Vec<u32>,
+    /// Takeover key of each entry: for convex shapes the first `x` at which
+    /// the entry beats the entry below it (`0` for a stack bottom — it always
+    /// wins as the fallback); for concave shapes the first `x` at which it
+    /// *stops* beating the entry below it (`u64::MAX` for a bottom).
+    /// `u64::MAX` also encodes "never takes over" for convex non-bottoms.
+    key: Vec<u64>,
+    /// Binary-lifting pointers, `log` per entry; level 0 is the entry below
+    /// this one in its version of the stack.
+    jump: Vec<u32>,
+    /// Number of lifting levels per entry.
+    log: usize,
+    shape: CostShape,
+    /// Largest query distance any node of the tree can present.
+    max_x: u64,
+}
+
+impl EnvelopeArena {
+    /// An empty arena for a tree with `n` non-root nodes whose root distances
+    /// never exceed `max_x`.
+    pub(crate) fn new(n: usize, max_x: u64, shape: CostShape) -> Self {
+        // Stacks hold at most n + 1 entries; one extra level keeps the
+        // descend loop simple for tiny trees.
+        let log = (usize::BITS - (n + 1).leading_zeros()).max(1) as usize;
+        EnvelopeArena {
+            node: Vec::with_capacity(n + 1),
+            key: Vec::with_capacity(n + 1),
+            jump: Vec::with_capacity((n + 1) * log),
+            log,
+            shape,
+            max_x,
+        }
+    }
+
+    /// Tree node stored in `entry`.
+    pub(crate) fn node_of(&self, entry: u32) -> usize {
+        self.node[entry as usize] as usize
+    }
+
+    fn below(&self, entry: u32) -> u32 {
+        self.jump[entry as usize * self.log]
+    }
+
+    /// Whether an entry with takeover key `key` is "alive" at query point `x`
+    /// (the winner of a version is its topmost alive entry).
+    fn alive(&self, key: u64, x: u64) -> bool {
+        match self.shape {
+            CostShape::Convex => key <= x,
+            CostShape::Concave => key > x,
+        }
+    }
+
+    /// First `x` in `[x_lo, max_x]` at which candidate `g` takes over from
+    /// `e` (convex: starts winning; concave: stops winning), or `u64::MAX` if
+    /// that never happens.  The predicate is monotone by the shape contract,
+    /// so a binary search suffices.  Returns the key and the number of
+    /// cost-function evaluations spent.
+    fn takeover(
+        &self,
+        g: usize,
+        e: usize,
+        x_lo: u64,
+        f: &mut dyn FnMut(usize, u64) -> i64,
+    ) -> (u64, u64) {
+        let mut evals = 0u64;
+        let mut pred = |x: u64, evals: &mut u64| {
+            *evals += 2;
+            let (fg, fe) = (f(g, x), f(e, x));
+            match self.shape {
+                CostShape::Convex => fg <= fe,
+                CostShape::Concave => fg > fe,
+            }
+        };
+        if pred(x_lo, &mut evals) {
+            return (x_lo, evals);
+        }
+        if x_lo == self.max_x || !pred(self.max_x, &mut evals) {
+            return (u64::MAX, evals);
+        }
+        // pred(lo) is false, pred(hi) is true: invariant of the search.
+        let (mut lo, mut hi) = (x_lo, self.max_x);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if pred(mid, &mut evals) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        (hi, evals)
+    }
+
+    /// Push tree node `g` (root distance `x_lo`) on top of the stack version
+    /// `top` (`NO_ENTRY` for an empty path), popping entries it supersedes in
+    /// every *future* version — old versions keep pointing at them.  `f(u, x)`
+    /// must evaluate candidate `u`'s function at query distance `x`.
+    ///
+    /// Returns the new entry (= the version for this path position) and the
+    /// number of cost-function evaluations spent.
+    pub(crate) fn push(
+        &mut self,
+        mut top: u32,
+        g: usize,
+        x_lo: u64,
+        f: &mut dyn FnMut(usize, u64) -> i64,
+    ) -> (u32, u64) {
+        let mut evals = 0u64;
+        let key = loop {
+            if top == NO_ENTRY {
+                // New stack bottom: the always-alive fallback.
+                break match self.shape {
+                    CostShape::Convex => 0,
+                    CostShape::Concave => u64::MAX,
+                };
+            }
+            let (k, e) = self.takeover(g, self.node_of(top), x_lo, f);
+            evals += e;
+            let supersedes = match self.shape {
+                // g starts winning no later than the top did: the top never
+                // wins again in versions that contain g.
+                CostShape::Convex => k <= self.key[top as usize],
+                // g stops winning no earlier than the top does.
+                CostShape::Concave => k >= self.key[top as usize],
+            };
+            if supersedes {
+                top = self.below(top);
+            } else {
+                break k;
+            }
+        };
+        let idx = self.node.len() as u32;
+        self.node.push(g as u32);
+        self.key.push(key);
+        self.jump.push(top);
+        for j in 1..self.log {
+            let a = self.jump[idx as usize * self.log + j - 1];
+            let next = if a == NO_ENTRY {
+                NO_ENTRY
+            } else {
+                self.jump[a as usize * self.log + j - 1]
+            };
+            self.jump.push(next);
+        }
+        (idx, evals)
+    }
+
+    /// Best candidate at query distance `x` among the path positions covered
+    /// by stack version `top`: descend the lifting pointers to the topmost
+    /// alive entry.  Costs `O(log n)` key comparisons and no cost-function
+    /// evaluations; returns the winning entry and the comparison count.
+    pub(crate) fn query(&self, top: u32, x: u64) -> (u32, u64) {
+        debug_assert_ne!(top, NO_ENTRY, "queried an unsettled path");
+        let mut probes = 1u64;
+        let mut cur = top;
+        if self.alive(self.key[cur as usize], x) {
+            return (cur, probes);
+        }
+        // Keys are strictly monotone down the stack, so "dead at x" holds on a
+        // prefix from the top: lifting-descend to the lowest dead entry.
+        for j in (0..self.log).rev() {
+            probes += 1;
+            let a = self.jump[cur as usize * self.log + j];
+            if a != NO_ENTRY && !self.alive(self.key[a as usize], x) {
+                cur = a;
+            }
+        }
+        let winner = self.below(cur);
+        debug_assert_ne!(winner, NO_ENTRY, "stack bottoms are always alive");
+        (winner, probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force winner among the chain positions, deepest on ties — the
+    /// semantics the envelope must reproduce.
+    fn brute_winner(cands: &[(usize, i64, u64)], x: u64, w: impl Fn(u64, u64) -> i64) -> usize {
+        let mut best = (i64::MAX, 0usize);
+        for &(u, e, d) in cands {
+            let v = e + w(d, x);
+            if v <= best.0 {
+                best = (v, u);
+            }
+        }
+        best.1
+    }
+
+    fn check_shape(shape: CostShape, w: impl Fn(u64, u64) -> i64 + Copy) {
+        // Candidates along one path: increasing distance, pseudo-random E.
+        let dists: Vec<u64> = (0..40u64).map(|i| i * 3).collect();
+        let es: Vec<i64> = (0..40).map(|i| ((i * 37 + 11) % 53) as i64 * 4).collect();
+        let max_x = 200u64;
+        let mut arena = EnvelopeArena::new(40, max_x, shape);
+        let mut cands: Vec<(usize, i64, u64)> = Vec::new();
+        let mut top = NO_ENTRY;
+        let mut versions = Vec::new();
+        for u in 0..40usize {
+            cands.push((u, es[u], dists[u]));
+            let local = cands.clone();
+            let mut f = |g: usize, x: u64| local[g].1 + w(local[g].2, x);
+            let (e, _) = arena.push(top, u, dists[u], &mut f);
+            top = e;
+            versions.push(e);
+            // Every prefix version must agree with brute force on all query
+            // points at or beyond the prefix's deepest distance (deepest wins
+            // ties, like the naive ancestor scan).
+            for (p, &v) in versions.iter().enumerate() {
+                for x in (dists[p]..=max_x).step_by(7) {
+                    let (win, _) = arena.query(v, x);
+                    let got = arena.node_of(win);
+                    let want = brute_winner(&cands[..=p], x, w);
+                    // Both rules prefer the deepest position on exact value
+                    // ties, so the winners must be identical, not just tied.
+                    assert_eq!(got, want, "prefix {p} x {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn convex_envelope_matches_brute_force_on_all_prefixes() {
+        check_shape(CostShape::Convex, |d, x| {
+            let len = (x - d) as i64;
+            7 + len * len
+        });
+    }
+
+    #[test]
+    fn concave_envelope_matches_brute_force_on_all_prefixes() {
+        check_shape(CostShape::Concave, |d, x| {
+            let len = x - d;
+            3 * len.min(9) as i64
+        });
+    }
+
+    #[test]
+    fn queries_spend_no_cost_evaluations() {
+        let mut arena = EnvelopeArena::new(8, 100, CostShape::Convex);
+        let mut top = NO_ENTRY;
+        for u in 0..8usize {
+            let mut f = |g: usize, x: u64| (x - 5 * g as u64) as i64;
+            let (e, _) = arena.push(top, u, 5 * u as u64, &mut f);
+            top = e;
+        }
+        // query() takes no cost closure at all: the type system enforces it.
+        let (win, probes) = arena.query(top, 90);
+        assert!(arena.node_of(win) < 8);
+        assert!(probes as usize <= arena.log + 1);
+    }
+}

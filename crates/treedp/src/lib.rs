@@ -6,28 +6,61 @@
 //! root-to-leaf path this is exactly the 1-D GLWS of Sec. 4; the difficulty is
 //! sharing the best-decision structures across branching paths.
 //!
-//! This crate provides the tree substrate and two evaluators:
+//! This crate provides the tree substrate and the full ladder of evaluators:
 //!
 //! * [`naive_tree_glws`] — each node scans all of its ancestors
 //!   (`O(n·h)` work); the exact reference used by every test,
 //! * [`sequential_tree_glws`] — depth-first traversal that reuses the parent's
 //!   scan state, the direct analogue of the sequential 1-D algorithm,
-//! * [`parallel_tree_glws`] — the Cordon-style evaluation: nodes are processed
-//!   in rounds by tree depth (every node's decisions live strictly above it,
-//!   so depth levels are valid frontiers), all nodes of a round in parallel.
-//!
-//! The fully work-efficient version of Theorem 5.3 (heavy-light decomposition
-//! plus persistent best-decision arrays so that each round costs time
-//! proportional to the frontier) is documented as future work in DESIGN.md;
-//! the evaluators here are correct, parallel over each frontier, and share the
-//! public API that version would use.
+//! * [`parallel_tree_glws`] — the baseline Cordon evaluation
+//!   ([`TreeGlwsCordon`]): nodes are processed in rounds by tree depth (every
+//!   node's decisions live strictly above it, so depth levels are valid
+//!   frontiers), all nodes of a round in parallel, but each node still
+//!   rescans its full ancestor chain — `O(n·h)` work,
+//! * [`parallel_tree_glws_hld`] — the **work-efficient version of
+//!   Theorem 5.3** ([`HldTreeGlwsCordon`]): a [heavy-light
+//!   decomposition](hld::HeavyLightDecomposition) partitions every ancestor
+//!   chain into `O(log n)` heavy-path prefixes, and each heavy path keeps a
+//!   *persistent* monotone best-decision envelope that grows as frontiers
+//!   settle, so one node costs `O(log² n)` instead of `O(depth)` and each
+//!   round's work is proportional to its frontier size (times polylog).  The
+//!   transition cost must be convex or concave along root paths (declared via
+//!   [`CostShape`]); the baseline cordon is kept as the shape-oblivious
+//!   oracle and the ablation partner.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hld;
+
+mod envelope;
+
+use envelope::{EnvelopeArena, NO_ENTRY};
+use hld::HeavyLightDecomposition;
 use pardp_core::{run_phase_parallel, PhaseParallel};
 use pardp_parutils::{Metrics, MetricsCollector};
 use rayon::prelude::*;
+
+/// Shape contract of the transition cost `w` along root paths, required by
+/// the work-efficient cordon ([`HldTreeGlwsCordon`]).
+///
+/// For ancestors `a`, `b` with `d_a <= d_b` on one root path and query
+/// distances `x <= y` (both `>= d_b`):
+///
+/// * **`Convex`** — `w(d_b, x) - w(d_a, x) >= w(d_b, y) - w(d_a, y)`: once
+///   the deeper candidate is at least as good, it stays at least as good
+///   (costs of the form `g(d_v - d_u)` with convex `g`),
+/// * **`Concave`** — the mirrored inequality: the deeper candidate wins on a
+///   prefix of query distances (`g` concave, e.g. capped-linear or `√`).
+///
+/// The naive and baseline evaluators need no such assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostShape {
+    /// Deeper decisions win on a suffix of query distances.
+    Convex,
+    /// Deeper decisions win on a prefix of query distances.
+    Concave,
+}
 
 /// A rooted tree instance for Tree-GLWS.
 pub struct TreeGlwsInstance<W, E> {
@@ -158,6 +191,44 @@ where
     }
 }
 
+/// Work-efficient parallel evaluation (Theorem 5.3): same depth-level
+/// frontiers as [`parallel_tree_glws`], but each node consults `O(log n)`
+/// persistent heavy-path envelopes instead of rescanning its ancestor chain.
+/// The cost must satisfy the declared [`CostShape`] contract.
+pub fn parallel_tree_glws_hld<W, E>(
+    inst: &TreeGlwsInstance<W, E>,
+    shape: CostShape,
+) -> TreeGlwsResult
+where
+    W: Fn(u64, u64) -> i64 + Sync,
+    E: Fn(i64, usize) -> i64 + Sync,
+{
+    let metrics = MetricsCollector::new();
+    let (d, best) = run_phase_parallel(HldTreeGlwsCordon::new(inst, shape), &metrics);
+    TreeGlwsResult {
+        d,
+        best,
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// Group the non-root nodes by depth (`levels[t]` holds the depth `t + 1`
+/// nodes; depths are contiguous so no level is empty).
+fn depth_levels(parent: &[usize]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let n = parent.len() - 1;
+    let mut depth = vec![0usize; n + 1];
+    let mut max_depth = 0;
+    for v in 1..=n {
+        depth[v] = depth[parent[v]] + 1;
+        max_depth = max_depth.max(depth[v]);
+    }
+    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth];
+    for v in 1..=n {
+        levels[depth[v] - 1].push(v);
+    }
+    (levels, depth)
+}
+
 /// [`PhaseParallel`] instance for Tree-GLWS: frontiers are the tree's depth
 /// levels (all decisions of a node are proper ancestors, hence in earlier
 /// frontiers), each evaluated in parallel.
@@ -182,16 +253,7 @@ where
         let n = inst.n();
         let mut d = vec![0i64; n + 1];
         d[0] = inst.d0;
-        let mut depth = vec![0usize; n + 1];
-        let mut max_depth = 0;
-        for v in 1..=n {
-            depth[v] = depth[inst.parent[v]] + 1;
-            max_depth = max_depth.max(depth[v]);
-        }
-        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth];
-        for v in 1..=n {
-            levels[depth[v] - 1].push(v);
-        }
+        let (levels, depth) = depth_levels(&inst.parent);
         TreeGlwsCordon {
             inst,
             levels,
@@ -255,6 +317,163 @@ where
 
     fn round_budget(&self) -> Option<u64> {
         // One round per depth level: the tree height.
+        Some(self.levels.len() as u64)
+    }
+}
+
+/// Work-efficient [`PhaseParallel`] instance for Tree-GLWS (Theorem 5.3).
+///
+/// Frontiers are the same depth levels as [`TreeGlwsCordon`]'s, so the round
+/// theorem (rounds == tree height) is unchanged; the difference is what one
+/// round costs.  A heavy path is a vertical chain with at most one node per
+/// depth, so each round settles at most one new position per path, and every
+/// settled node is pushed — exactly once — onto its path's persistent
+/// best-decision envelope.  A frontier node then consults the `O(log n)`
+/// heavy-path prefixes covering its ancestor chain, each answered by one
+/// binary-lifted envelope query in `O(log n)` comparisons with *no* cost
+/// evaluations.  Per-pair takeover keys are found by binary search during the
+/// push, which is where the cost function is evaluated: `O(log maxdist)`
+/// evaluations amortized per settled node.  Total work `O(n · polylog)`
+/// versus the baseline's `O(n · h)`; per-round cost is proportional to the
+/// frontier size times polylog factors.
+pub struct HldTreeGlwsCordon<'a, W, E> {
+    inst: &'a TreeGlwsInstance<W, E>,
+    hld: HeavyLightDecomposition,
+    levels: Vec<Vec<usize>>,
+    next_level: usize,
+    d: Vec<i64>,
+    best: Vec<usize>,
+    arena: EnvelopeArena,
+    /// Per path (indexed by its head node): current top-of-stack entry.
+    tops: Vec<u32>,
+    /// Per settled node: the envelope entry created when it settled — i.e. the
+    /// persistent version covering its path's positions up to the node.
+    version: Vec<u32>,
+}
+
+impl<'a, W, E> HldTreeGlwsCordon<'a, W, E>
+where
+    W: Fn(u64, u64) -> i64 + Sync,
+    E: Fn(i64, usize) -> i64 + Sync,
+{
+    /// Decompose the tree, group the nodes by depth and seed the root's
+    /// envelope.  `shape` declares which [`CostShape`] contract `inst.w`
+    /// satisfies; it is trusted, not checked (the property-test suite checks
+    /// it against [`naive_tree_glws`] for the workloads we ship).
+    pub fn new(inst: &'a TreeGlwsInstance<W, E>, shape: CostShape) -> Self {
+        let n = inst.n();
+        let mut d = vec![0i64; n + 1];
+        d[0] = inst.d0;
+        let hld = HeavyLightDecomposition::new(&inst.parent);
+        // Bucket the depth frontiers from the decomposition's depth vector
+        // rather than recomputing depths via depth_levels().
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); hld.height()];
+        for v in 1..=n {
+            levels[hld.depth[v] - 1].push(v);
+        }
+        let max_x = inst.dist.iter().copied().max().unwrap_or(0);
+        let mut arena = EnvelopeArena::new(n, max_x, shape);
+        let mut tops = vec![NO_ENTRY; n + 1];
+        let mut version = vec![NO_ENTRY; n + 1];
+        // The root is settled from the start: it seeds its path's envelope.
+        let mut f = |u: usize, x: u64| (inst.e)(d[u], u) + (inst.w)(inst.dist[u], x);
+        let (root_entry, _) = arena.push(NO_ENTRY, 0, inst.dist[0], &mut f);
+        tops[0] = root_entry;
+        version[0] = root_entry;
+        HldTreeGlwsCordon {
+            inst,
+            hld,
+            levels,
+            next_level: 0,
+            d,
+            best: vec![0usize; n + 1],
+            arena,
+            tops,
+            version,
+        }
+    }
+
+    /// The decomposition driving the segment queries (exposed for tests and
+    /// diagnostics).
+    pub fn decomposition(&self) -> &HeavyLightDecomposition {
+        &self.hld
+    }
+}
+
+impl<W, E> PhaseParallel for HldTreeGlwsCordon<'_, W, E>
+where
+    W: Fn(u64, u64) -> i64 + Sync,
+    E: Fn(i64, usize) -> i64 + Sync,
+{
+    /// DP values plus the best ancestor decision of every node.
+    type Output = (Vec<i64>, Vec<usize>);
+
+    fn is_done(&self) -> bool {
+        self.next_level >= self.levels.len()
+    }
+
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        let inst = self.inst;
+        let level = &self.levels[self.next_level];
+        let (arena, hld, d_ref, version) = (&self.arena, &self.hld, &self.d, &self.version);
+        // Query phase: every frontier node walks its O(log n) heavy-path
+        // segments, nearest first, querying each segment's persistent
+        // envelope version.  Read-only, hence fully parallel.  Ties across
+        // segments keep the nearest segment and ties inside a segment keep
+        // the deepest position, so `best` matches the naive ancestor scan
+        // exactly.
+        let results: Vec<(usize, i64, usize, u64, u64)> = level
+            .par_iter()
+            .map(|&v| {
+                let dv = inst.dist[v];
+                let (mut bv, mut bu) = (i64::MAX, 0usize);
+                let (mut probes, mut edges) = (0u64, 0u64);
+                for x in hld.ancestor_segments(&inst.parent, v) {
+                    let (entry, p) = arena.query(version[x], dv);
+                    probes += p;
+                    let u = arena.node_of(entry);
+                    edges += 1;
+                    let cand = inst.value_via(d_ref[u], u, v);
+                    if cand < bv {
+                        bv = cand;
+                        bu = u;
+                    }
+                }
+                (v, bv, bu, probes, edges)
+            })
+            .collect();
+        let size = level.len();
+        let (mut probes, mut edges) = (0u64, 0u64);
+        for &(v, bv, bu, p, e) in &results {
+            self.d[v] = bv;
+            self.best[v] = bu;
+            probes += p;
+            edges += e;
+        }
+        // Settle phase: push the finalized nodes onto their paths' envelopes
+        // (at most one node per path per round — a heavy path has one node
+        // per depth — so the push order within the round is irrelevant).
+        let (arena, d_ref) = (&mut self.arena, &self.d);
+        let mut f = |u: usize, x: u64| (inst.e)(d_ref[u], u) + (inst.w)(inst.dist[u], x);
+        for &(v, ..) in &results {
+            let h = self.hld.head[v];
+            let (entry, evals) = arena.push(self.tops[h], v, inst.dist[v], &mut f);
+            self.tops[h] = entry;
+            self.version[v] = entry;
+            edges += evals;
+        }
+        metrics.add_edges(edges);
+        metrics.add_probes(probes);
+        self.next_level += 1;
+        size
+    }
+
+    fn finish(self) -> Self::Output {
+        (self.d, self.best)
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        // One round per depth level, exactly like the baseline cordon.
         Some(self.levels.len() as u64)
     }
 }
@@ -357,5 +576,113 @@ mod tests {
     #[should_panic(expected = "parents must precede children")]
     fn bad_parent_order_rejected() {
         let _ = TreeGlwsInstance::new(vec![0, 2, 0], &[0, 1, 1], 0, convex_w, |d, _| d);
+    }
+
+    // -- the work-efficient cordon (Theorem 5.3) ---------------------------
+
+    fn concave_w(du: u64, dv: u64) -> i64 {
+        let len = dv - du;
+        4 + 3 * len.min(7) as i64
+    }
+
+    #[test]
+    fn hld_matches_naive_on_random_trees_convex() {
+        for seed in 0..6 {
+            for &bias in &[0u64, 40, 90, 100] {
+                let (parent, lens) = random_tree(250, bias, seed);
+                let inst =
+                    TreeGlwsInstance::new(parent, &lens, 5, convex_w, |d, u| d + (u % 3) as i64);
+                let want = naive_tree_glws(&inst);
+                let got = parallel_tree_glws_hld(&inst, CostShape::Convex);
+                assert_eq!(got.d, want.d, "seed {seed} bias {bias}");
+                assert_eq!(got.best, want.best, "seed {seed} bias {bias}");
+            }
+        }
+    }
+
+    #[test]
+    fn hld_matches_naive_on_random_trees_concave() {
+        for seed in 0..6 {
+            for &bias in &[0u64, 40, 90, 100] {
+                let (parent, lens) = random_tree(250, bias, seed);
+                let inst =
+                    TreeGlwsInstance::new(parent, &lens, 2, concave_w, |d, u| d + (u % 5) as i64);
+                let want = naive_tree_glws(&inst);
+                let got = parallel_tree_glws_hld(&inst, CostShape::Concave);
+                assert_eq!(got.d, want.d, "seed {seed} bias {bias}");
+                assert_eq!(got.best, want.best, "seed {seed} bias {bias}");
+            }
+        }
+    }
+
+    #[test]
+    fn hld_rounds_and_frontiers_match_the_baseline_cordon() {
+        let (parent, lens) = random_tree(400, 70, 13);
+        let inst = TreeGlwsInstance::new(parent, &lens, 0, convex_w, |d, _| d);
+        let base = parallel_tree_glws(&inst);
+        let hld = parallel_tree_glws_hld(&inst, CostShape::Convex);
+        assert_eq!(hld.metrics.rounds, base.metrics.rounds);
+        assert_eq!(hld.metrics.frontier_sizes, base.metrics.frontier_sizes);
+        assert_eq!(hld.d, base.d);
+        assert_eq!(hld.best, base.best);
+    }
+
+    #[test]
+    fn hld_work_is_subquadratic_on_a_path() {
+        // On a path the baseline rescans every ancestor: exactly n(n+1)/2
+        // edges.  The heavy-light cordon must stay polylog per node.
+        let n = 4_000usize;
+        let parent: Vec<usize> = (0..=n).map(|v| v.saturating_sub(1)).collect();
+        let lens = vec![1u64; n + 1];
+        let inst = TreeGlwsInstance::new(parent, &lens, 0, convex_w, |d, _| d);
+        let base = parallel_tree_glws(&inst);
+        assert_eq!(base.metrics.edges_relaxed, (n * (n + 1) / 2) as u64);
+        let hld = parallel_tree_glws_hld(&inst, CostShape::Convex);
+        assert_eq!(hld.d, base.d);
+        assert_eq!(hld.best, base.best);
+        let log = (usize::BITS - n.leading_zeros()) as u64;
+        assert!(
+            hld.metrics.work_proxy() <= 12 * n as u64 * log,
+            "HLD work {} exceeds 12·n·log n = {}",
+            hld.metrics.work_proxy(),
+            12 * n as u64 * log
+        );
+        assert!(hld.metrics.work_proxy() < base.metrics.edges_relaxed);
+    }
+
+    #[test]
+    fn hld_star_and_empty_trees() {
+        let n = 20;
+        let inst = TreeGlwsInstance::new(
+            vec![0usize; n + 1],
+            &vec![3u64; n + 1],
+            7,
+            convex_w,
+            |d, _| d,
+        );
+        let r = parallel_tree_glws_hld(&inst, CostShape::Convex);
+        for v in 1..=n {
+            assert_eq!(r.d[v], 7 + 10 + 9);
+            assert_eq!(r.best[v], 0);
+        }
+        assert_eq!(r.metrics.rounds, 1);
+        let empty = TreeGlwsInstance::new(vec![0], &[0], 3, convex_w, |d, _| d);
+        let r = parallel_tree_glws_hld(&empty, CostShape::Convex);
+        assert_eq!(r.d, vec![3]);
+        assert_eq!(r.metrics.rounds, 0);
+    }
+
+    #[test]
+    fn hld_stalls_on_an_impossible_round_budget() {
+        use pardp_core::{try_run_phase_parallel_with_budget, StallError};
+        let (parent, lens) = random_tree(100, 80, 3);
+        let inst = TreeGlwsInstance::new(parent, &lens, 0, convex_w, |d, _| d);
+        let metrics = MetricsCollector::new();
+        let cordon = HldTreeGlwsCordon::new(&inst, CostShape::Convex);
+        let height = cordon.round_budget().unwrap();
+        assert!(height > 1);
+        let err =
+            try_run_phase_parallel_with_budget(cordon, &metrics, Some(height - 1)).unwrap_err();
+        assert!(matches!(err, StallError::BudgetExhausted { budget, .. } if budget == height - 1));
     }
 }

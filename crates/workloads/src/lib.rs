@@ -280,6 +280,67 @@ pub fn tree_edge_lengths(n: usize, max_len: u64, seed: u64) -> Vec<u64> {
     (0..=n).map(|_| r.gen_range(1..=max_len.max(1))).collect()
 }
 
+/// A path on `n + 1` nodes: the deepest tree shape (`h = n`), where the
+/// baseline Tree-GLWS cordon degenerates to quadratic work.
+pub fn path_tree(n: usize) -> Vec<usize> {
+    (0..=n).map(|v| v.saturating_sub(1)).collect()
+}
+
+/// A star on `n + 1` nodes: the shallowest tree shape (`h = 1`), a single
+/// one-frontier cordon round.
+pub fn star_tree(n: usize) -> Vec<usize> {
+    vec![0; n + 1]
+}
+
+/// A caterpillar: a spine path of `spine` nodes with the remaining `n - spine`
+/// leg leaves attached to random spine nodes.  Depth ≈ `spine` with wide
+/// frontiers along the way — the adversarial shape for ancestor rescans
+/// (`h ≈ n` with many nodes per level).
+pub fn caterpillar_tree(n: usize, spine: usize, seed: u64) -> Vec<usize> {
+    assert!(spine >= 1 && spine <= n, "need 1 <= spine <= n");
+    let mut r = rng(seed);
+    let mut parent = vec![0usize; n + 1];
+    for v in 1..=spine {
+        parent[v] = v - 1;
+    }
+    for v in spine + 1..=n {
+        parent[v] = r.gen_range(1..=spine);
+    }
+    parent
+}
+
+/// A complete `arity`-ary tree on `n + 1` nodes in level order
+/// (`h = Θ(log n)`, geometrically growing frontiers).
+pub fn balanced_tree(n: usize, arity: usize) -> Vec<usize> {
+    assert!(arity >= 2, "need arity >= 2");
+    (0..=n).map(|v| v.saturating_sub(1) / arity).collect()
+}
+
+/// A random-attachment (recursive) tree: every node picks a uniformly random
+/// earlier node as its parent, giving expected height `Θ(log n)`.
+pub fn random_attachment_tree(n: usize, seed: u64) -> Vec<usize> {
+    let mut r = rng(seed);
+    let mut parent = vec![0usize; n + 1];
+    for v in 2..=n {
+        parent[v] = r.gen_range(0..v);
+    }
+    parent
+}
+
+/// Edge height of a tree given as a parent array (0 for a lone root), the
+/// round count of the depth-frontier Tree-GLWS cordons.  Asserts the
+/// `parent[v] < v` invariant every generator above guarantees.
+pub fn tree_height(parent: &[usize]) -> usize {
+    let mut depth = vec![0usize; parent.len()];
+    let mut h = 0;
+    for v in 1..parent.len() {
+        assert!(parent[v] < v, "parents must precede children");
+        depth[v] = depth[parent[v]] + 1;
+        h = h.max(depth[v]);
+    }
+    h
+}
+
 // ---------------------------------------------------------------------------
 // Helpers
 // ---------------------------------------------------------------------------
@@ -380,6 +441,37 @@ mod tests {
         for v in 1..=50usize {
             assert_eq!(chain[v], v - 1);
         }
+    }
+
+    #[test]
+    fn tree_shapes_have_expected_heights() {
+        assert_eq!(tree_height(&path_tree(100)), 100);
+        assert_eq!(tree_height(&star_tree(100)), 1);
+        let cat = caterpillar_tree(200, 80, 7);
+        assert_eq!(cat.len(), 201);
+        let ch = tree_height(&cat);
+        assert!(
+            (80..=81).contains(&ch),
+            "caterpillar height {ch} should track its spine"
+        );
+        let bal = balanced_tree(1000, 4);
+        assert!(
+            tree_height(&bal) <= 6,
+            "4-ary tree on 1001 nodes is shallow"
+        );
+        let ra = random_attachment_tree(10_000, 3);
+        let rh = tree_height(&ra);
+        assert!(rh <= 64, "random attachment height {rh} should be Θ(log n)");
+        // Determinism.
+        assert_eq!(caterpillar_tree(200, 80, 7), caterpillar_tree(200, 80, 7));
+        assert_eq!(
+            random_attachment_tree(500, 9),
+            random_attachment_tree(500, 9)
+        );
+        assert_ne!(
+            random_attachment_tree(500, 9),
+            random_attachment_tree(500, 10)
+        );
     }
 
     #[test]

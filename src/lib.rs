@@ -67,8 +67,8 @@ pub use pardp_workloads as workloads;
 /// ```
 ///
 /// The same call shape works for `LcsCordon`, `ConvexGlwsCordon`,
-/// `ConcaveGlwsCordon`, `KGlwsCordon`, `GapCordon`, `TreeGlwsCordon` and
-/// `ObstCordon`.
+/// `ConcaveGlwsCordon`, `KGlwsCordon`, `GapCordon`, `TreeGlwsCordon`,
+/// `HldTreeGlwsCordon` and `ObstCordon`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CordonSolver {
     round_budget: Option<u64>,
@@ -152,7 +152,8 @@ pub mod prelude {
     pub use pardp_parutils::{with_threads, Metrics, MetricsCollector};
     pub use pardp_tournament::{TieRule, TournamentTree};
     pub use pardp_treedp::{
-        naive_tree_glws, parallel_tree_glws, sequential_tree_glws, TreeGlwsCordon, TreeGlwsInstance,
+        hld::HeavyLightDecomposition, naive_tree_glws, parallel_tree_glws, parallel_tree_glws_hld,
+        sequential_tree_glws, CostShape, HldTreeGlwsCordon, TreeGlwsCordon, TreeGlwsInstance,
     };
     pub use pardp_workloads as workloads;
 }

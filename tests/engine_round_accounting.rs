@@ -77,7 +77,8 @@ fn every_parallel_algorithm_reports_per_round_frontiers() {
     assert_eq!(gr.metrics.rounds as usize, 40 + 35);
     assert_frontier_telemetry_consistent(&gr.metrics);
 
-    // Tree-GLWS: one frontier per depth level.
+    // Tree-GLWS: one frontier per depth level — for both the baseline cordon
+    // and the work-efficient heavy-light one, which share their frontiers.
     let parent = workloads::random_tree(300, 60, 9);
     let lens = workloads::tree_edge_lengths(300, 4, 9);
     let ti = TreeGlwsInstance::new(
@@ -90,7 +91,14 @@ fn every_parallel_algorithm_reports_per_round_frontiers() {
         },
         |d, _| d,
     );
-    assert_frontier_telemetry_consistent(&parallel_tree_glws(&ti).metrics);
+    let tree_base = parallel_tree_glws(&ti);
+    assert_frontier_telemetry_consistent(&tree_base.metrics);
+    let tree_hld = parallel_tree_glws_hld(&ti, CostShape::Convex);
+    assert_frontier_telemetry_consistent(&tree_hld.metrics);
+    assert_eq!(
+        tree_hld.metrics.frontier_sizes,
+        tree_base.metrics.frontier_sizes
+    );
 
     // OBST: one frontier per diagonal.
     let w = workloads::positive_weights(60, 1000, 2);
@@ -139,6 +147,34 @@ fn cordon_solver_budget_override_trips_the_typed_stall_guard() {
     // A budget of exactly 50 succeeds.
     let run = CordonSolver::with_round_budget(50).run(LisCordon::new(&a));
     assert_eq!(run.metrics.rounds, 50);
+}
+
+#[test]
+fn hld_tree_cordon_budget_equals_height_through_the_driver() {
+    // The work-efficient Tree-GLWS keeps the baseline's round theorem:
+    // exactly one round per depth level, and the driver's budget guard is
+    // armed with the height.
+    let parent = workloads::caterpillar_tree(400, 120, 2);
+    let lens = workloads::tree_edge_lengths(400, 3, 2);
+    let inst = TreeGlwsInstance::new(
+        parent,
+        &lens,
+        0,
+        |du, dv| {
+            let len = (dv - du) as i64;
+            9 + len * len
+        },
+        |d, _| d,
+    );
+    let run = CordonSolver::new().run(HldTreeGlwsCordon::new(&inst, CostShape::Convex));
+    assert_frontier_telemetry_consistent(&run.metrics);
+    let err = CordonSolver::with_round_budget(run.metrics.rounds / 2)
+        .try_run(HldTreeGlwsCordon::new(&inst, CostShape::Convex))
+        .unwrap_err();
+    match err {
+        StallError::BudgetExhausted { budget, .. } => assert_eq!(budget, run.metrics.rounds / 2),
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
 }
 
 #[test]
