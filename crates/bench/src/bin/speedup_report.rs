@@ -1,42 +1,90 @@
 //! Reports the Sec. 1 / Sec. 6 headline numbers: parallel-vs-sequential
-//! behaviour of LCS and GLWS as the DP-DAG depth varies, including the
-//! work-ratio (parallel work / sequential work) used to validate
-//! work-efficiency on machines with few cores.
+//! behaviour as the DP-DAG depth varies, including the work-ratio
+//! (parallel work / sequential work) used to validate work-efficiency on
+//! machines with few cores — and emits the machine-readable speedup
+//! trajectory as `BENCH_speedup.json`.
+//!
+//! Usage: `speedup_report [--quick] [--out PATH]`
+//!
+//! * `--quick` shrinks every instance for smoke-test use (CI).
+//! * `--out PATH` sets the JSON output path (default `BENCH_speedup.json`
+//!   in the current directory).
 
-use pardp_bench::{run_fig6, run_fig7};
+use pardp_bench::{print_speedup, run_fig6, run_fig7, run_speedup, speedup_rows_to_json};
 
 fn main() {
-    let l = 1_000_000usize;
-    let n = 1_000_000usize;
-    println!("== Sparse LCS (L = {l}) ==");
-    println!(
-        "{:>10} {:>14} {:>14} {:>12} {:>12}",
-        "k", "par/seq time", "1thr/seq time", "work ratio", "rounds"
-    );
-    for row in run_fig6(l, &[100, 10_000, 1_000_000], 3) {
-        println!(
-            "{:>10} {:>14.3} {:>14.3} {:>12.3} {:>12}",
-            row.k,
-            row.parallel_secs / row.sequential_secs,
-            row.parallel_1t_secs / row.sequential_secs,
-            row.parallel_work as f64 / row.sequential_work as f64,
-            row.rounds
-        );
+    let mut quick = false;
+    let mut out = String::from("BENCH_speedup.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = args.expect_value("--out");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: speedup_report [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
     }
-    println!();
-    println!("== Convex GLWS / post office (n = {n}) ==");
-    println!(
-        "{:>10} {:>14} {:>14} {:>12} {:>12}",
-        "k", "par/seq time", "1thr/seq time", "work ratio", "rounds"
-    );
-    for row in run_fig7(n, &[10, 1_000, 100_000], 3) {
+
+    if !quick {
+        let l = 1_000_000usize;
+        let n = 1_000_000usize;
+        println!("== Sparse LCS (L = {l}) ==");
         println!(
-            "{:>10} {:>14.3} {:>14.3} {:>12.3} {:>12}",
-            row.k,
-            row.parallel_secs / row.sequential_secs,
-            row.parallel_1t_secs / row.sequential_secs,
-            row.parallel_work as f64 / row.sequential_work as f64,
-            row.rounds
+            "{:>10} {:>14} {:>14} {:>12} {:>12}",
+            "k", "par/seq time", "1thr/seq time", "work ratio", "rounds"
         );
+        for row in run_fig6(l, &[100, 10_000, 1_000_000], 3) {
+            println!(
+                "{:>10} {:>14.3} {:>14.3} {:>12.3} {:>12}",
+                row.k,
+                row.parallel_secs / row.sequential_secs,
+                row.parallel_1t_secs / row.sequential_secs,
+                row.parallel_work as f64 / row.sequential_work as f64,
+                row.rounds
+            );
+        }
+        println!();
+        println!("== Convex GLWS / post office (n = {n}) ==");
+        println!(
+            "{:>10} {:>14} {:>14} {:>12} {:>12}",
+            "k", "par/seq time", "1thr/seq time", "work ratio", "rounds"
+        );
+        for row in run_fig7(n, &[10, 1_000, 100_000], 3) {
+            println!(
+                "{:>10} {:>14.3} {:>14.3} {:>12.3} {:>12}",
+                row.k,
+                row.parallel_secs / row.sequential_secs,
+                row.parallel_1t_secs / row.sequential_secs,
+                row.parallel_work as f64 / row.sequential_work as f64,
+                row.rounds
+            );
+        }
+        println!();
+    }
+
+    let rows = run_speedup(quick, &[1, 2, 4, 8]);
+    print_speedup(&rows);
+    let json = speedup_rows_to_json(&rows, quick);
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!();
+    println!("wrote {out} ({} rows)", rows.len());
+}
+
+/// Tiny helper so `--out` errors read well without pulling in a CLI crate.
+trait ExpectValue {
+    fn expect_value(&mut self, flag: &str) -> String;
+}
+
+impl<I: Iterator<Item = String>> ExpectValue for I {
+    fn expect_value(&mut self, flag: &str) -> String {
+        self.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
     }
 }

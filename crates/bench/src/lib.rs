@@ -9,9 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use pardp_gap::{convex_gap_instance, parallel_gap, sequential_gap};
 use pardp_glws::{parallel_convex_glws, sequential_convex_glws, GlwsProblem, PostOfficeProblem};
 use pardp_lcs::{parallel_sparse_lcs, sequential_sparse_lcs, MatchPair};
-use pardp_parutils::with_threads;
+use pardp_lis::{parallel_lis, sequential_lis};
+use pardp_obst::{knuth_obst, parallel_obst};
+use pardp_parutils::{with_threads, Metrics};
+use pardp_treedp::{parallel_tree_glws, sequential_tree_glws, TreeGlwsInstance};
 use pardp_workloads as workloads;
 use serde::Serialize;
 use std::time::Instant;
@@ -159,6 +163,245 @@ pub fn print_fig7(rows: &[Fig7Row]) {
             r.rounds,
             r.parallel_work,
             r.sequential_work
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Speedup trajectory: per-problem parallel-vs-sequential wall clock across
+// thread counts, emitted as machine-readable BENCH_speedup.json.
+// ---------------------------------------------------------------------------
+
+/// One (problem, thread count) measurement of the speedup trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupRow {
+    /// Problem / instance label.
+    pub problem: String,
+    /// Instance size.
+    pub n: usize,
+    /// Thread count the parallel run was pinned to.
+    pub threads: usize,
+    /// Best-of-reps sequential baseline wall clock.
+    pub seq_secs: f64,
+    /// Best-of-reps parallel wall clock at `threads` threads.
+    pub par_secs: f64,
+    /// Parallel work proxy / sequential work proxy.
+    pub work_ratio: f64,
+    /// Cordon rounds of the parallel run.
+    pub rounds: u64,
+    /// Largest frontier over all rounds.
+    pub max_frontier: u64,
+}
+
+impl SpeedupRow {
+    /// Wall-clock ratio parallel / sequential (< 1.0 means the parallel
+    /// algorithm beat the sequential baseline outright).
+    pub fn par_over_seq(&self) -> f64 {
+        if self.seq_secs > 0.0 {
+            self.par_secs / self.seq_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Minimum wall clock over `reps` invocations, with the last result.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let (mut best, mut out) = time_secs(&mut f);
+    for _ in 1..reps {
+        let (t, r) = time_secs(&mut f);
+        if t < best {
+            best = t;
+        }
+        out = r;
+    }
+    (best, out)
+}
+
+fn speedup_row(
+    problem: &str,
+    n: usize,
+    threads: usize,
+    seq_secs: f64,
+    par_secs: f64,
+    par: &Metrics,
+    seq: &Metrics,
+) -> SpeedupRow {
+    SpeedupRow {
+        problem: problem.to_string(),
+        n,
+        threads,
+        seq_secs,
+        par_secs,
+        work_ratio: if seq.work_proxy() > 0 {
+            par.work_proxy() as f64 / seq.work_proxy() as f64
+        } else {
+            0.0
+        },
+        rounds: par.rounds,
+        max_frontier: par.max_frontier(),
+    }
+}
+
+/// Run the speedup sweep: for each problem, time the sequential baseline and
+/// the parallel algorithm pinned to each thread count in `threads`.
+///
+/// The instances are deliberately *shallow* (small round count, wide
+/// frontiers) — the regime where the paper's span bounds leave actual
+/// parallelism for the pool to exploit.  `quick` shrinks every instance for
+/// smoke-test use (CI runs `speedup_report --quick`).
+pub fn run_speedup(quick: bool, threads: &[usize]) -> Vec<SpeedupRow> {
+    let reps = if quick { 1 } else { 3 };
+    let mut rows = Vec::new();
+
+    // Shallow LIS: k = 4 rounds over a wide staircase.  The sequential
+    // baseline pays a coordinate-compression sort plus a Fenwick log factor;
+    // the cordon does k linear tournament rounds.
+    {
+        let n = if quick { 50_000 } else { 400_000 };
+        let a = workloads::lis_with_length(n, 4, 7);
+        let (seq_secs, seq) = best_of(reps, || sequential_lis(&a));
+        for &t in threads {
+            let (par_secs, par) = best_of(reps, || with_threads(t, || parallel_lis(&a)));
+            assert_eq!(par.length, seq.length, "lis parallel/sequential disagree");
+            rows.push(speedup_row(
+                "lis_shallow",
+                n,
+                t,
+                seq_secs,
+                par_secs,
+                &par.metrics,
+                &seq.metrics,
+            ));
+        }
+    }
+
+    // OBST: n - 1 diagonal rounds with identical Knuth-bound work on both
+    // sides; the cordon's flat diagonal-major tables vs the baseline's
+    // row-major `Vec<Vec>` grid.
+    {
+        let n = if quick { 400 } else { 2_000 };
+        let weights = workloads::positive_weights(n, 1_000, 11);
+        let (seq_secs, seq) = best_of(reps, || knuth_obst(&weights));
+        for &t in threads {
+            let (par_secs, par) = best_of(reps, || with_threads(t, || parallel_obst(&weights)));
+            assert_eq!(par.cost, seq.cost, "obst parallel/sequential disagree");
+            rows.push(speedup_row(
+                "obst",
+                n,
+                t,
+                seq_secs,
+                par_secs,
+                &par.metrics,
+                &seq.metrics,
+            ));
+        }
+    }
+
+    // Tree-GLWS on a shallow balanced tree: height log_8 n rounds, frontiers
+    // of up to 7n/8 nodes.
+    {
+        let n = if quick { 20_000 } else { 200_000 };
+        let parent = workloads::balanced_tree(n, 8);
+        let lens = workloads::tree_edge_lengths(n, 100, 13);
+        let inst = TreeGlwsInstance::new(parent, &lens, 0, |du, dv| (dv - du) as i64, |d, _| d);
+        let (seq_secs, seq) = best_of(reps, || sequential_tree_glws(&inst));
+        for &t in threads {
+            let (par_secs, par) = best_of(reps, || with_threads(t, || parallel_tree_glws(&inst)));
+            assert_eq!(par.d, seq.d, "tree-glws parallel/sequential disagree");
+            rows.push(speedup_row(
+                "tree_glws_balanced",
+                n,
+                t,
+                seq_secs,
+                par_secs,
+                &par.metrics,
+                &seq.metrics,
+            ));
+        }
+    }
+
+    // GAP alignment: n + m anti-diagonal rounds — a *deep* instance kept as
+    // the contrast case (span-bound overhead dominates, ratio stays > 1).
+    {
+        let n = if quick { 300 } else { 1_000 };
+        let (a, b) = workloads::gap_strings(n, n, 4, 17);
+        let inst = convex_gap_instance(&a, &b, 3, 1, 1);
+        let (seq_secs, seq) = best_of(reps, || sequential_gap(&inst));
+        for &t in threads {
+            let (par_secs, par) = best_of(reps, || with_threads(t, || parallel_gap(&inst)));
+            assert_eq!(par.cost, seq.cost, "gap parallel/sequential disagree");
+            rows.push(speedup_row(
+                "gap",
+                n,
+                t,
+                seq_secs,
+                par_secs,
+                &par.metrics,
+                &seq.metrics,
+            ));
+        }
+    }
+
+    rows
+}
+
+/// Serialize speedup rows as the `BENCH_speedup.json` document (hand-rolled:
+/// the offline `serde` shim does not provide serialization).
+pub fn speedup_rows_to_json(rows: &[SpeedupRow], quick: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"pardp-speedup-v1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"rows\": [\n");
+    for (idx, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"problem\": \"{}\", \"n\": {}, \"threads\": {}, \"seq_secs\": {:.6}, \
+             \"par_secs\": {:.6}, \"par_over_seq\": {:.4}, \"work_ratio\": {:.4}, \
+             \"rounds\": {}, \"max_frontier\": {}}}{}\n",
+            r.problem,
+            r.n,
+            r.threads,
+            r.seq_secs,
+            r.par_secs,
+            r.par_over_seq(),
+            r.work_ratio,
+            r.rounds,
+            r.max_frontier,
+            if idx + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pretty-print speedup rows as a table.
+pub fn print_speedup(rows: &[SpeedupRow]) {
+    println!("# Speedup trajectory — parallel vs sequential wall clock by thread count");
+    println!(
+        "{:>20} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12} {:>8} {:>12}",
+        "problem",
+        "n",
+        "threads",
+        "seq (s)",
+        "par (s)",
+        "par/seq",
+        "work ratio",
+        "rounds",
+        "max frontier"
+    );
+    for r in rows {
+        println!(
+            "{:>20} {:>10} {:>8} {:>12.4} {:>12.4} {:>12.3} {:>12.3} {:>8} {:>12}",
+            r.problem,
+            r.n,
+            r.threads,
+            r.seq_secs,
+            r.par_secs,
+            r.par_over_seq(),
+            r.work_ratio,
+            r.rounds,
+            r.max_frontier
         );
     }
 }

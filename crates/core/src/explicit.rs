@@ -15,7 +15,7 @@
 //! * it is the oracle the work-efficient algorithms are property-tested
 //!   against.
 
-use crate::phase::{run_phase_parallel, PhaseParallel};
+use crate::phase::{run_phase_parallel, FrontierArena, PhaseParallel};
 use pardp_parutils::{Metrics, MetricsCollector};
 use rayon::prelude::*;
 
@@ -154,6 +154,8 @@ pub struct ExplicitCordon<'a> {
     finalized: Vec<bool>,
     frontiers: Vec<Vec<usize>>,
     remaining: usize,
+    /// Reused sentinel/blocked scratch (one flag per state, cleared per round).
+    marks: Vec<bool>,
 }
 
 impl<'a> ExplicitCordon<'a> {
@@ -169,6 +171,7 @@ impl<'a> ExplicitCordon<'a> {
             finalized: vec![false; dag.n],
             frontiers: Vec::new(),
             remaining: dag.n,
+            marks: vec![false; dag.n],
         }
     }
 }
@@ -182,14 +185,23 @@ impl PhaseParallel for ExplicitCordon<'_> {
     }
 
     fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        // Standalone rounds (outside the driver) get a throwaway arena.
+        let mut arena = FrontierArena::new();
+        self.round_with(metrics, &mut arena)
+    }
+
+    fn round_with(&mut self, metrics: &MetricsCollector, arena: &mut FrontierArena) -> usize {
         let dag = self.dag;
         let worst = dag.objective.worst();
 
         // Step 2: place sentinels.  A tentative state j places a sentinel on a
         // tentative state i if relaxing i through j would improve i's
         // tentative value.  (States that still hold the `worst` value cannot
-        // relax anyone — they have not received any value yet.)
-        let mut sentinel = vec![false; dag.n];
+        // relax anyone — they have not received any value yet.)  The flag
+        // buffer is round-to-round scratch, reused without reallocation.
+        let mut sentinel = std::mem::take(&mut self.marks);
+        sentinel.clear();
+        sentinel.resize(dag.n, false);
         let mut edge_count = 0u64;
         for j in 0..dag.n {
             if self.finalized[j] || self.d[j] == worst {
@@ -222,14 +234,16 @@ impl PhaseParallel for ExplicitCordon<'_> {
             }
         }
 
-        // Ready states: tentative and not blocked.  An empty frontier is
-        // reported to the driver, whose stall guard rejects it.
-        let frontier: Vec<usize> = (0..dag.n)
-            .filter(|&i| !self.finalized[i] && !blocked[i])
-            .collect();
+        // Ready states: tentative and not blocked, staged in the driver's
+        // reusable arena buffer.  An empty frontier is reported to the
+        // driver, whose stall guard rejects it.
+        let frontier = arena.next_mut();
+        frontier.extend((0..dag.n).filter(|&i| !self.finalized[i] && !blocked[i]));
+        self.marks = blocked;
         if frontier.is_empty() {
             return 0;
         }
+        let frontier: &[usize] = frontier;
 
         // Step 3: ready states relax their descendants.
         let d_ref = &self.d;
@@ -253,12 +267,14 @@ impl PhaseParallel for ExplicitCordon<'_> {
 
         // Step 4: finalize the frontier (sentinels are recomputed from scratch
         // next round).
-        for &i in &frontier {
+        for &i in frontier {
             self.finalized[i] = true;
         }
         self.remaining -= frontier.len();
         let size = frontier.len();
-        self.frontiers.push(frontier);
+        // The per-round frontier log is part of this instance's output, so
+        // the copy out of the arena is inherent.
+        self.frontiers.push(frontier.to_vec());
         size
     }
 

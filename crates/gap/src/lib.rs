@@ -33,7 +33,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use pardp_core::{run_phase_parallel, PhaseParallel};
-use pardp_parutils::{Metrics, MetricsCollector};
+use pardp_parutils::{round_min_grain, Metrics, MetricsCollector};
 use rayon::prelude::*;
 
 /// A GAP problem instance: two strings plus the two block-deletion cost
@@ -294,6 +294,9 @@ pub struct GapCordon<'i, 'a, W1, W2> {
     diag: usize,
     n: usize,
     m: usize,
+    /// Reused per-round frontier-value buffer (grown once to the widest
+    /// anti-diagonal).
+    values: Vec<i64>,
 }
 
 impl<'i, 'a, W1, W2> GapCordon<'i, 'a, W1, W2>
@@ -321,6 +324,7 @@ where
             diag: 1,
             n,
             m,
+            values: Vec::new(),
         }
     }
 }
@@ -345,7 +349,12 @@ where
         let d_ref = &self.d;
         let row_ref = &self.row_struct;
         let col_ref = &self.col_struct;
-        let values: Vec<i64> = (i_lo..=i_hi)
+        let cells = i_hi - i_lo + 1;
+        let grain = round_min_grain(cells);
+        // Reuse the frontier-value buffer across rounds (`collect_into_vec`
+        // refills it in place).
+        let mut values = std::mem::take(&mut self.values);
+        (i_lo..=i_hi)
             .into_par_iter()
             .map(|i| {
                 let j = diag - i;
@@ -357,7 +366,8 @@ where
                 }
                 best
             })
-            .collect();
+            .with_min_len(grain)
+            .collect_into_vec(&mut values);
         // Write the frontier values, then insert each cell into its row and
         // column structure (one insertion per structure, all structures
         // disjoint, so the two loops parallelize over rows and columns).
@@ -371,6 +381,7 @@ where
         self.row_struct[i_lo..=i_hi]
             .par_iter_mut()
             .enumerate()
+            .with_min_len(grain)
             .for_each(|(off, rs)| {
                 let i = i_lo + off;
                 let j = diag - i;
@@ -382,12 +393,13 @@ where
         self.col_struct[j_lo..=j_hi]
             .par_iter_mut()
             .enumerate()
+            .with_min_len(grain)
             .for_each(|(off, cs)| {
                 let j = j_lo + off;
                 let i = diag - j;
                 cs.insert(i, d_now[i][j], w1);
             });
-        let cells = i_hi - i_lo + 1;
+        self.values = values;
         metrics.add_edges(3 * cells as u64);
         metrics.add_probes(2 * cells as u64);
         self.diag += 1;

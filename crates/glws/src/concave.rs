@@ -22,7 +22,7 @@ use crate::best::BestDecisionArray;
 use crate::cost::GlwsProblem;
 use crate::GlwsResult;
 use pardp_core::{prefix_doubling_cordon, run_phase_parallel, PhaseParallel};
-use pardp_parutils::{maybe_join, MetricsCollector};
+use pardp_parutils::{maybe_join, round_min_grain, MetricsCollector};
 use rayon::prelude::*;
 
 /// Strategy used to merge the new and old best-decision arrays after a round.
@@ -116,10 +116,12 @@ impl<P: GlwsProblem> PhaseParallel for ConcaveGlwsCordon<'_, P> {
             prefix_doubling_cordon(now, n, |lo, hi| {
                 let batch_d = &mut d_tail[(lo - now - 1)..=(hi - now - 1)];
                 let batch_best = &mut best_tail[(lo - now - 1)..=(hi - now - 1)];
+                let batch_len = batch_d.len();
                 batch_d
                     .par_iter_mut()
                     .zip(batch_best.par_iter_mut())
                     .enumerate()
+                    .with_min_len(round_min_grain(batch_len))
                     .map(|(off, (dj_slot, bj_slot))| {
                         let j = lo + off;
                         let bj = b_ref.decision_at(j);
@@ -317,7 +319,11 @@ fn algorithm2_cut_point<P: GlwsProblem>(
     // Step 1 (Alg. 2 lines 1-2): for every interval ([l_k, r_k], j_k) of B_new,
     // find the best old decision x_k of l_k, in parallel.
     let triples = b_new.triples();
-    let xs: Vec<usize> = triples.par_iter().map(|t| b_old.decision_at(t.l)).collect();
+    let xs: Vec<usize> = triples
+        .par_iter()
+        .with_min_len(round_min_grain(triples.len()))
+        .map(|t| b_old.decision_at(t.l))
+        .collect();
     *probes += triples.len() as u64;
 
     // Step 2 (line 3): last interval whose new decision still strictly beats

@@ -26,7 +26,7 @@ use crate::best::BestDecisionArray;
 use crate::cost::GlwsProblem;
 use crate::GlwsResult;
 use pardp_core::{prefix_doubling_cordon, run_phase_parallel, PhaseParallel};
-use pardp_parutils::{maybe_join, MetricsCollector};
+use pardp_parutils::{maybe_join, round_min_grain, MetricsCollector};
 use rayon::prelude::*;
 
 /// Tie handling: a probe state places a sentinel wherever it is at least as
@@ -114,10 +114,12 @@ impl<P: GlwsProblem> PhaseParallel for ConvexGlwsCordon<'_, P> {
             prefix_doubling_cordon(now, n, |lo, hi| {
                 let batch_d = &mut d_tail[(lo - now - 1)..=(hi - now - 1)];
                 let batch_best = &mut best_tail[(lo - now - 1)..=(hi - now - 1)];
+                let batch_len = batch_d.len();
                 batch_d
                     .par_iter_mut()
                     .zip(batch_best.par_iter_mut())
                     .enumerate()
+                    .with_min_len(round_min_grain(batch_len))
                     .map(|(off, (dj_slot, bj_slot))| {
                         let j = lo + off;
                         let bj = b_ref.decision_at(j);
@@ -255,6 +257,7 @@ pub(crate) fn argmin_decision<P: GlwsProblem>(
     } else {
         (jl..=jr)
             .into_par_iter()
+            .with_min_len(round_min_grain(jr - jl + 1))
             .map(|j| (problem.e(d[j], j) + problem.w(j, i), j))
             .reduce_with(|a, b| if b < a { b } else { a })
             .map(|(_, j)| j)

@@ -19,7 +19,7 @@
 #![warn(missing_docs)]
 
 use pardp_core::{run_phase_parallel, PhaseParallel};
-use pardp_parutils::{par_sort_by_key, Metrics, MetricsCollector};
+use pardp_parutils::{par_sort_by_key, round_min_grain, Metrics, MetricsCollector};
 use pardp_tournament::{StaircaseCordon, TieRule};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -60,6 +60,7 @@ pub fn matching_pairs<T: Eq + std::hash::Hash + Copy + Sync>(a: &[T], b: &[T]) -
     let mut pairs: Vec<MatchPair> = a
         .par_iter()
         .enumerate()
+        .with_min_len(round_min_grain(a.len()))
         .flat_map_iter(|(i, x)| {
             positions
                 .get(x)

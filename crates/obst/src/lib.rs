@@ -22,7 +22,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use pardp_core::{run_phase_parallel, PhaseParallel};
-use pardp_parutils::{Metrics, MetricsCollector};
+use pardp_parutils::{round_min_grain, Metrics, MetricsCollector};
 use rayon::prelude::*;
 
 /// Result of an OBST computation over `n` leaves.
@@ -185,30 +185,57 @@ impl ObstTables {
 /// [`PhaseParallel`] instance for the interval DP: round `δ` fills the
 /// diagonal of intervals of length `δ + 1` in parallel using the Knuth split
 /// bounds.
+///
+/// Both tables live in a single flat allocation in diagonal-major order
+/// (`offsets[len - 1] + i` addresses interval `[i, i + len - 1]`), sized up
+/// front in [`ObstCordon::new`].  A round therefore performs **zero heap
+/// allocation**: it splits the flat table at the current diagonal's offset and
+/// writes the new diagonal in place while reading the finished prefix.  The
+/// diagonal-major layout also keeps each round's reads (the two one-shorter
+/// diagonals) contiguous, unlike the row-major tables of [`knuth_obst`].
 pub struct ObstCordon {
     pre: Vec<u64>,
-    d: Vec<Vec<u64>>,
-    root: Vec<Vec<usize>>,
+    d: Vec<u64>,
+    root: Vec<usize>,
+    /// `offsets[k]` is the flat index where the diagonal of length `k + 1`
+    /// starts; that diagonal holds `n - k` entries.
+    offsets: Vec<usize>,
     len: usize,
     n: usize,
 }
 
 impl ObstCordon {
-    /// Seed the length-1 diagonal (single leaves cost 0, root at themselves).
+    /// Seed the length-1 diagonal (single leaves cost 0, root at themselves)
+    /// and pre-size the full triangular tables.
     pub fn new(weights: &[u64]) -> Self {
         let n = weights.len();
-        let (d, root) = if n == 0 {
-            (Vec::new(), Vec::new())
-        } else {
-            (vec![vec![0u64; n]], vec![(0..n).collect::<Vec<usize>>()])
-        };
+        let total = n * (n + 1) / 2;
+        let mut offsets = Vec::with_capacity(n);
+        let mut acc = 0;
+        for k in 0..n {
+            offsets.push(acc);
+            acc += n - k;
+        }
+        // Length-1 intervals cost 0 (already zeroed) with root at themselves.
+        let d = vec![0u64; total];
+        let mut root = vec![0usize; total];
+        for (i, r) in root.iter_mut().enumerate().take(n) {
+            *r = i;
+        }
         ObstCordon {
             pre: prefix_sums(weights),
             d,
             root,
+            offsets,
             len: 2,
             n,
         }
+    }
+
+    /// Copy one finished diagonal out of the flat table (`len >= 1`).
+    fn diagonal<T: Copy>(flat: &[T], offsets: &[usize], n: usize, len: usize) -> Vec<T> {
+        let start = offsets[len - 1];
+        flat[start..start + (n - len + 1)].to_vec()
     }
 }
 
@@ -224,51 +251,57 @@ impl PhaseParallel for ObstCordon {
         let pre = &self.pre;
         let wsum = |i: usize, j: usize| pre[j + 1] - pre[i];
         let count = n - len + 1;
-        let (prev_roots, shorter_d) = (&self.root, &self.d);
-        let row: Vec<(u64, usize, u64)> = (0..count)
-            .into_par_iter()
-            .map(|i| {
+        let offsets = &self.offsets;
+        let start = offsets[len - 1];
+        // Everything before `start` is finished (all shorter diagonals); the
+        // current diagonal is written in place.
+        let (done_d, write_d) = self.d.split_at_mut(start);
+        let (done_root, write_root) = self.root.split_at_mut(start);
+        let prev = offsets[len - 2];
+        let edge_total: u64 = write_d[..count]
+            .par_iter_mut()
+            .zip(write_root[..count].par_iter_mut())
+            .enumerate()
+            .with_min_len(round_min_grain(count))
+            .map(|(i, (d_out, r_out))| {
                 let j = i + len - 1;
                 // Knuth bounds from the two one-shorter intervals.
-                let lo = prev_roots[len - 2][i];
-                let hi = prev_roots[len - 2][i + 1].min(j - 1).max(lo);
+                let lo = done_root[prev + i];
+                let hi = done_root[prev + i + 1].min(j - 1).max(lo);
                 let mut best = u64::MAX;
                 let mut best_k = lo;
                 let mut edges = 0u64;
                 for k in lo..=hi {
                     edges += 1;
-                    let left = shorter_d[k - i][i];
-                    let right = shorter_d[j - k - 1][k + 1];
+                    let left = done_d[offsets[k - i] + i];
+                    let right = done_d[offsets[j - k - 1] + k + 1];
                     let c = left + right;
                     if c < best {
                         best = c;
                         best_k = k;
                     }
                 }
-                (best + wsum(i, j), best_k, edges)
+                *d_out = best + wsum(i, j);
+                *r_out = best_k;
+                edges
             })
-            .collect();
-        let mut d_row = Vec::with_capacity(count);
-        let mut r_row = Vec::with_capacity(count);
-        let mut edge_total = 0;
-        for (cost, k, e) in row {
-            d_row.push(cost);
-            r_row.push(k);
-            edge_total += e;
-        }
+            .sum();
         metrics.add_edges(edge_total);
-        self.d.push(d_row);
-        self.root.push(r_row);
         self.len += 1;
         count
     }
 
     fn finish(self) -> Self::Output {
-        ObstTables {
-            d: self.d,
-            root: self.root,
-            n: self.n,
-        }
+        // Re-materialize the per-diagonal rows for the public tables; this is
+        // a one-time cost at the end of the run, not a per-round one.
+        let n = self.n;
+        let d = (1..=n)
+            .map(|len| Self::diagonal(&self.d, &self.offsets, n, len))
+            .collect();
+        let root = (1..=n)
+            .map(|len| Self::diagonal(&self.root, &self.offsets, n, len))
+            .collect();
+        ObstTables { d, root, n }
     }
 
     fn round_budget(&self) -> Option<u64> {

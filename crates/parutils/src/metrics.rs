@@ -121,6 +121,21 @@ impl MetricsCollector {
             .push(frontier);
     }
 
+    /// Pre-size the frontier log for `rounds` upcoming rounds so that
+    /// [`MetricsCollector::record_round`] performs no allocation on the hot
+    /// path.  The phase-parallel driver calls this with the instance's round
+    /// budget before the first round; the reservation is capped at one
+    /// million entries (8 MB) to keep pathological budgets harmless.
+    pub fn reserve_rounds(&self, rounds: usize) {
+        const RESERVE_CAP: usize = 1 << 20;
+        let mut log = self.frontier_sizes.lock().expect("frontier log poisoned");
+        let want = rounds.min(RESERVE_CAP);
+        let have = log.capacity() - log.len();
+        if want > have {
+            log.reserve(want - have);
+        }
+    }
+
     /// Record one cordon round without frontier bookkeeping (sequential and
     /// naive baselines that only track a round count).
     #[inline]

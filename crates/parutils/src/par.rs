@@ -47,7 +47,9 @@ where
     if n < SEQ_CUTOFF {
         (0..n).map(f).collect()
     } else {
-        (0..n).into_par_iter().map(f).collect()
+        // Pass by reference: `&F` is `Fn` and trivially `Clone`, so the
+        // producer can split without requiring `F: Clone` in our public API.
+        (0..n).into_par_iter().map(&f).collect()
     }
 }
 

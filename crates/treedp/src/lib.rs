@@ -38,7 +38,7 @@ mod envelope;
 use envelope::{EnvelopeArena, NO_ENTRY};
 use hld::HeavyLightDecomposition;
 use pardp_core::{run_phase_parallel, PhaseParallel};
-use pardp_parutils::{Metrics, MetricsCollector};
+use pardp_parutils::{round_min_grain, Metrics, MetricsCollector};
 use rayon::prelude::*;
 
 /// Shape contract of the transition cost `w` along root paths, required by
@@ -241,6 +241,8 @@ pub struct TreeGlwsCordon<'a, W, E> {
     next_level: usize,
     d: Vec<i64>,
     best: Vec<usize>,
+    /// Reused per-round result buffer (grown once to the widest level).
+    scratch: Vec<(usize, i64, usize)>,
 }
 
 impl<'a, W, E> TreeGlwsCordon<'a, W, E>
@@ -261,6 +263,7 @@ where
             next_level: 0,
             d,
             best: vec![0usize; n + 1],
+            scratch: Vec::new(),
         }
     }
 }
@@ -281,7 +284,10 @@ where
         let inst = self.inst;
         let level = &self.levels[self.next_level];
         let d_ref = &self.d;
-        let results: Vec<(usize, i64, usize)> = level
+        // Reuse the round scratch: `collect_into_vec` refills the buffer in
+        // place, so after the widest level no round allocates.
+        let mut results = std::mem::take(&mut self.scratch);
+        level
             .par_iter()
             .map(|&v| {
                 let mut u = inst.parent[v];
@@ -300,13 +306,15 @@ where
                 }
                 (v, bv, bu)
             })
-            .collect();
+            .with_min_len(round_min_grain(level.len()))
+            .collect_into_vec(&mut results);
         metrics.add_edges(results.iter().map(|&(v, _, _)| self.depth[v] as u64).sum());
         let size = level.len();
-        for (v, bv, bu) in results {
+        for &(v, bv, bu) in &results {
             self.d[v] = bv;
             self.best[v] = bu;
         }
+        self.scratch = results;
         self.next_level += 1;
         size
     }
@@ -349,6 +357,8 @@ pub struct HldTreeGlwsCordon<'a, W, E> {
     /// Per settled node: the envelope entry created when it settled — i.e. the
     /// persistent version covering its path's positions up to the node.
     version: Vec<u32>,
+    /// Reused per-round result buffer (grown once to the widest level).
+    scratch: Vec<(usize, i64, usize, u64, u64)>,
 }
 
 impl<'a, W, E> HldTreeGlwsCordon<'a, W, E>
@@ -390,6 +400,7 @@ where
             arena,
             tops,
             version,
+            scratch: Vec::new(),
         }
     }
 
@@ -422,7 +433,8 @@ where
         // segments keep the nearest segment and ties inside a segment keep
         // the deepest position, so `best` matches the naive ancestor scan
         // exactly.
-        let results: Vec<(usize, i64, usize, u64, u64)> = level
+        let mut results = std::mem::take(&mut self.scratch);
+        level
             .par_iter()
             .map(|&v| {
                 let dv = inst.dist[v];
@@ -441,7 +453,8 @@ where
                 }
                 (v, bv, bu, probes, edges)
             })
-            .collect();
+            .with_min_len(round_min_grain(level.len()))
+            .collect_into_vec(&mut results);
         let size = level.len();
         let (mut probes, mut edges) = (0u64, 0u64);
         for &(v, bv, bu, p, e) in &results {
@@ -464,6 +477,7 @@ where
         }
         metrics.add_edges(edges);
         metrics.add_probes(probes);
+        self.scratch = results;
         self.next_level += 1;
         size
     }

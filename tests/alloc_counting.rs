@@ -1,0 +1,92 @@
+//! Counting-allocator proof of the zero-allocation round loop.
+//!
+//! After the arena/scratch work, a cordon round on the single-threaded inline
+//! path must perform no heap allocation once warm-up has grown every buffer to
+//! its high-water mark: OBST writes into flat preallocated triangular tables,
+//! and the driver pre-sizes the metrics frontier log via
+//! `MetricsCollector::reserve_rounds`.  This test drives an `ObstCordon`
+//! exactly the way `run_phase_parallel` does and asserts the allocation
+//! counter does not move during steady-state rounds.
+//!
+//! The test pins the pool to one thread (`with_threads(1)`): the threaded
+//! fork path boxes jobs per fork by design, so the zero-allocation contract
+//! is specific to inline execution (small frontiers and `threads = 1`).
+//! It lives in its own integration-test binary so no sibling test thread can
+//! allocate concurrently and pollute the counter.
+
+use parallel_dp::core::PhaseParallel;
+use parallel_dp::obst::{knuth_obst, ObstCordon};
+use parallel_dp::parutils::{with_threads, MetricsCollector};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+#[test]
+fn obst_rounds_allocate_nothing_after_warm_up() {
+    let n = 256;
+    let weights: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 101 + 1).collect();
+    let expected = knuth_obst(&weights).cost;
+
+    with_threads(1, || {
+        let metrics = MetricsCollector::new();
+        let mut cordon = ObstCordon::new(&weights);
+        // Mirror the driver: pre-size the frontier log for the full budget.
+        let budget = cordon.round_budget().expect("obst declares a budget") as usize;
+        metrics.reserve_rounds(budget);
+
+        // Warm-up: a few rounds to fault in any lazy state.
+        let mut rounds = 0;
+        while !cordon.is_done() && rounds < 8 {
+            let frontier = cordon.round(&metrics);
+            metrics.record_round(frontier as u64);
+            rounds += 1;
+        }
+        assert!(
+            !cordon.is_done(),
+            "instance too small to measure steady state"
+        );
+
+        // Steady state: every remaining round must leave the counter alone.
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        while !cordon.is_done() {
+            let frontier = cordon.round(&metrics);
+            metrics.record_round(frontier as u64);
+            rounds += 1;
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "cordon rounds allocated {} times over {} steady-state rounds",
+            after - before,
+            rounds - 8
+        );
+
+        // The run still computes the right answer.
+        let tables = cordon.finish();
+        assert_eq!(tables.cost(), expected);
+        assert_eq!(metrics.snapshot().rounds, budget as u64);
+    });
+}

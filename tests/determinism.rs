@@ -1,0 +1,86 @@
+//! Thread-count determinism of the phase-parallel engine.
+//!
+//! The cordon algorithms are deterministic by construction: every round's
+//! frontier is a pure function of the instance, and the rayon shim's reduce
+//! combiners merge grains in index order with tie rules matching `std::iter`
+//! (see `crates/compat/README.md`).  These tests pin that contract end to
+//! end — the engine must produce bit-identical results whether the threaded
+//! pool is off (1 thread, fully inline) or on with any worker count.
+
+use parallel_dp::parutils::with_threads;
+use parallel_dp::treedp::{
+    parallel_tree_glws_hld, sequential_tree_glws, CostShape, TreeGlwsInstance,
+};
+use parallel_dp::workloads;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn lis_results_are_bit_identical_across_thread_counts() {
+    let a = workloads::lis_with_length(20_000, 150, 3);
+    let baseline = with_threads(1, || parallel_dp::lis::parallel_lis(&a));
+    for t in THREAD_COUNTS {
+        let run = with_threads(t, || parallel_dp::lis::parallel_lis(&a));
+        assert_eq!(run.d, baseline.d, "LIS d[] differs at {t} threads");
+        assert_eq!(run.length, baseline.length);
+        assert_eq!(
+            run.metrics.frontier_sizes, baseline.metrics.frontier_sizes,
+            "LIS round schedule differs at {t} threads"
+        );
+    }
+    assert_eq!(
+        baseline.length,
+        parallel_dp::lis::sequential_lis(&a).length,
+        "parallel LIS disagrees with the sequential baseline"
+    );
+}
+
+#[test]
+fn gap_results_are_bit_identical_across_thread_counts() {
+    let (a, b) = workloads::gap_strings(220, 180, 4, 5);
+    let inst = parallel_dp::gap::convex_gap_instance(&a, &b, 3, 1, 1);
+    let baseline = with_threads(1, || parallel_dp::gap::parallel_gap(&inst));
+    for t in THREAD_COUNTS {
+        let run = with_threads(t, || parallel_dp::gap::parallel_gap(&inst));
+        assert_eq!(run.d, baseline.d, "GAP grid differs at {t} threads");
+        assert_eq!(run.cost, baseline.cost);
+        assert_eq!(
+            run.metrics.frontier_sizes, baseline.metrics.frontier_sizes,
+            "GAP round schedule differs at {t} threads"
+        );
+    }
+    assert_eq!(
+        baseline.cost,
+        parallel_dp::gap::sequential_gap(&inst).cost,
+        "parallel GAP disagrees with the sequential baseline"
+    );
+}
+
+#[test]
+fn hld_tree_glws_results_are_bit_identical_across_thread_counts() {
+    let n = 8_000;
+    let parent = workloads::random_tree(n, 3, 9);
+    let lens = workloads::tree_edge_lengths(n, 50, 10);
+    let inst = TreeGlwsInstance::new(parent, &lens, 0, |du, dv| (dv - du) as i64, |d, _| d);
+    let baseline = with_threads(1, || parallel_tree_glws_hld(&inst, CostShape::Convex));
+    for t in THREAD_COUNTS {
+        let run = with_threads(t, || parallel_tree_glws_hld(&inst, CostShape::Convex));
+        assert_eq!(
+            run.d, baseline.d,
+            "HLD Tree-GLWS d[] differs at {t} threads"
+        );
+        assert_eq!(
+            run.best, baseline.best,
+            "HLD Tree-GLWS decisions differ at {t} threads"
+        );
+        assert_eq!(
+            run.metrics.frontier_sizes, baseline.metrics.frontier_sizes,
+            "HLD Tree-GLWS round schedule differs at {t} threads"
+        );
+    }
+    let seq = sequential_tree_glws(&inst);
+    assert_eq!(
+        baseline.d, seq.d,
+        "parallel HLD Tree-GLWS disagrees with the sequential baseline"
+    );
+}
