@@ -85,6 +85,24 @@ pub fn current_num_threads() -> usize {
     }
 }
 
+/// Cumulative pool dispatch diagnostics: `(injector pushes, worker wakeups)`.
+///
+/// Not part of the real rayon API — a shim extension used to *prove* the
+/// per-round dispatch fast path: code that must bypass the pool (sub-grain
+/// cordon rounds, the `SEQ_CUTOFF` sequential path) asserts that the deltas
+/// across the region are zero.  Both counters are monotone process-global
+/// totals; always `(0, 0)` without the `threads` feature.
+pub fn dispatch_diagnostics() -> (u64, u64) {
+    #[cfg(feature = "threads")]
+    {
+        pool::dispatch_counters()
+    }
+    #[cfg(not(feature = "threads"))]
+    {
+        (0, 0)
+    }
+}
+
 /// Scoped task spawning, mirroring `rayon::scope`: tasks may borrow the
 /// enclosing stack frame and are all guaranteed to finish before `scope`
 /// returns (on panic too).  Tasks run on the pool when `threads` is enabled

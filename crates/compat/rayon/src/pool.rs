@@ -39,7 +39,7 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -50,10 +50,12 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// Hard cap on pool size; far above any sensible `RAYON_NUM_THREADS`.
 const MAX_WORKERS: usize = 64;
 
-/// How long an idle worker sleeps before re-checking the queues.  Wake-ups
-/// are signalled eagerly on every submission; the timeout only bounds the
-/// cost of a lost race between the emptiness check and the wait.
-const PARK_TIMEOUT: Duration = Duration::from_millis(5);
+/// How long a parked worker sleeps before re-polling the queues.  Parked
+/// workers are registered in [`Shared::sleepers`] and woken explicitly by
+/// submissions, so the timeout is only a belt-and-braces bound on a lost
+/// notification, not the primary wake mechanism — it can therefore be long
+/// enough that an idle pool generates essentially no lock traffic.
+const PARK_TIMEOUT: Duration = Duration::from_millis(50);
 
 struct Shared {
     /// FIFO for jobs submitted by non-pool threads.
@@ -62,9 +64,18 @@ struct Shared {
     deques: Vec<Mutex<VecDeque<Job>>>,
     /// Number of worker threads actually spawned so far.
     live_workers: AtomicUsize,
-    /// Wake generation counter; bumped on every submission.
+    /// Workers currently parked (or about to park) on the condvar.  A
+    /// submission skips the wake mutex + condvar entirely when this is zero —
+    /// during a fork-heavy round every worker is busy helping, so pushes
+    /// become a single deque lock instead of a notify-all storm.
+    sleepers: AtomicUsize,
+    /// Wake generation counter; bumped on every submission that saw sleepers.
     wake_gen: Mutex<u64>,
     wake: Condvar,
+    /// Diagnostic: jobs pushed to the shared injector (not per-worker deques).
+    injector_pushes: AtomicU64,
+    /// Diagnostic: condvar notifications actually sent to wake a worker.
+    wakeups: AtomicU64,
 }
 
 impl Shared {
@@ -97,25 +108,50 @@ impl Shared {
         None
     }
 
-    /// Queue `job` and wake sleepers: a worker pushes to its own deque, any
-    /// other thread to the injector.
+    /// Queue `job` and wake one sleeper if any worker is parked: a worker
+    /// pushes to its own deque, any other thread to the injector.
+    ///
+    /// The sleeper check is sound against the park protocol in
+    /// [`worker_loop`]: a worker registers in [`Shared::sleepers`] *before*
+    /// its final queue re-check, so if this load observes zero sleepers the
+    /// parking worker's re-check is ordered after the push above (both sides
+    /// synchronize through the queue mutex and seq-cst counter) and will find
+    /// the job itself.  When the load observes a sleeper we bump the wake
+    /// generation under the lock, which closes the check-then-wait race on
+    /// the worker side.
     fn push_job(&self, job: Job) {
         match WORKER_INDEX.with(Cell::get) {
             Some(idx) => self.deques[idx]
                 .lock()
                 .expect("deque poisoned")
                 .push_back(job),
-            None => self
-                .injector
-                .lock()
-                .expect("injector poisoned")
-                .push_back(job),
+            None => {
+                self.injector
+                    .lock()
+                    .expect("injector poisoned")
+                    .push_back(job);
+                self.injector_pushes.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        let mut gen = self.wake_gen.lock().expect("wake gen poisoned");
-        *gen += 1;
-        drop(gen);
-        self.wake.notify_all();
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let mut gen = self.wake_gen.lock().expect("wake gen poisoned");
+            *gen += 1;
+            drop(gen);
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.wake.notify_one();
+        }
     }
+}
+
+/// Snapshot of the pool's cumulative dispatch diagnostics: `(injector pushes,
+/// worker wakeups)`.  Tests assert *deltas* across a region that must bypass
+/// the pool (e.g. a sub-grain cordon round).
+pub(crate) fn dispatch_counters() -> (u64, u64) {
+    let sh = shared();
+    (
+        sh.injector_pushes.load(Ordering::Relaxed),
+        sh.wakeups.load(Ordering::Relaxed),
+    )
 }
 
 thread_local! {
@@ -134,8 +170,11 @@ fn shared() -> &'static Arc<Shared> {
                 .map(|_| Mutex::new(VecDeque::new()))
                 .collect(),
             live_workers: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
             wake_gen: Mutex::new(0),
             wake: Condvar::new(),
+            injector_pushes: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
         })
     })
 }
@@ -195,20 +234,25 @@ fn worker_loop(sh: &Shared, idx: usize) {
             job();
             continue;
         }
-        // Park.  The generation counter closes the race between the
-        // emptiness check above and the wait below: a submission bumps the
-        // generation before notifying, so if one slipped in we retry.
+        // Park.  Register as a sleeper *first* so submissions know someone
+        // needs a notification, then re-check the queues: a job pushed before
+        // the registration is found by the re-check; a job pushed after it
+        // sees `sleepers > 0`, bumps the generation and notifies.  The
+        // generation counter closes the remaining race between the re-check
+        // and the wait — if a submission slipped in between, the generation
+        // no longer matches and we retry instead of sleeping.
+        sh.sleepers.fetch_add(1, Ordering::SeqCst);
         let gen = *sh.wake_gen.lock().expect("wake gen poisoned");
-        if sh.find_job(Some(idx)).is_some_and(|job| {
+        if let Some(job) = sh.find_job(Some(idx)) {
+            sh.sleepers.fetch_sub(1, Ordering::SeqCst);
             job();
-            true
-        }) {
             continue;
         }
         let guard = sh.wake_gen.lock().expect("wake gen poisoned");
         if *guard == gen {
             let _ = sh.wake.wait_timeout(guard, PARK_TIMEOUT);
         }
+        sh.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 

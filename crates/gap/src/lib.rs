@@ -17,15 +17,20 @@
 //! * [`naive_gap`] — the direct `O(n²m + nm²)` recurrence (oracle),
 //! * [`sequential_gap`] — `Γ_gap`: row-major evaluation with one online
 //!   convex decision structure per row and per column (`O(nm log n)`),
-//! * [`parallel_gap`] — the parallel evaluation: cells are processed in
-//!   staircase frontiers (anti-diagonal wavefronts of the grid DAG), each
-//!   frontier in parallel, with the same per-row/per-column structures and
-//!   the same `O(nm log n)` work.  The number of frontier rounds reported in
-//!   the metrics is the grid depth `n + m - 1`; the fully cordon-packed
-//!   variant that compresses rounds to the effective depth `k` (Theorem 5.2)
-//!   is discussed in DESIGN.md — the wavefront keeps the identical work and
-//!   data structures while being considerably simpler, and on convex costs it
-//!   produces identical values (validated against the oracle).
+//! * [`parallel_gap`] — the *wavefront* parallel evaluation: cells are
+//!   processed in anti-diagonal frontiers of the grid DAG, each frontier in
+//!   parallel, with the same per-row/per-column structures and the same
+//!   `O(nm log n)` work.  Its round count is always the grid depth `n + m`;
+//!   it is kept as the oracle / ablation partner for the packed variant,
+//! * [`parallel_gap_packed`] — the fully packed cordon of Theorem 5.2: each
+//!   round finalizes *every* cell whose tentative value can no longer change
+//!   (the safe set), not just the next anti-diagonal, so the number of rounds
+//!   is exactly the instance's effective depth `k` — the longest chain of
+//!   strict tentative-value improvements — instead of `n + m`.  Work stays
+//!   `O(nm log n)` plus one wasted probe per row per round.
+//!
+//! Both parallel variants produce bit-identical grids (validated against each
+//! other and against the naive oracle in the tests).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -164,6 +169,12 @@ impl ConvexDecisionList {
             entries: Vec::new(),
             horizon,
         }
+    }
+
+    /// Clear the list for reuse, keeping its allocation.
+    fn reset(&mut self, horizon: usize) {
+        self.entries.clear();
+        self.horizon = horizon;
     }
 
     /// Insert a decision at `pos` with value `val`; `cost(l, r)` is the gap
@@ -416,6 +427,327 @@ where
     }
 }
 
+// ---------------------------------------------------------------------------
+// Packed cordon (Theorem 5.2): rounds = effective depth instead of n + m.
+// ---------------------------------------------------------------------------
+
+/// Packed parallel GAP (Theorem 5.2): identical values and work as
+/// [`parallel_gap`], but the round count equals the instance's *effective
+/// depth* `k` — the longest chain of strict tentative-value improvements —
+/// instead of the grid depth `n + m`.
+///
+/// Each round finalizes the entire *safe set*: every cell whose tentative
+/// value (computed from already-finalized cells) provably equals its final DP
+/// value.  A cell is kept back (Bad) exactly when a cell finalized in the
+/// same round strictly improves its tentative, or when one of its
+/// predecessors is kept back; one wasted probe per row per round is charged
+/// to `wasted_states`.
+pub fn parallel_gap_packed<W1, W2>(inst: &GapInstance<'_, W1, W2>) -> GapResult
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    let metrics = MetricsCollector::new();
+    let d = run_phase_parallel(PackedGapCordon::new(inst), &metrics);
+    let cost = d[inst.a.len()][inst.b.len()];
+    GapResult {
+        d,
+        cost,
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// [`PhaseParallel`] instance for the packed GAP evaluation.
+///
+/// The finalized region is always a *staircase* (a down-set of the grid): row
+/// `i` is finalized exactly on columns `0..r[i]`, with `r` non-increasing in
+/// `i`.  Each round sweeps rows top-down, extending every watermark as far as
+/// the safe-set rule allows:
+///
+/// * a cell's tentative `T` is the best reachable value through cells
+///   finalized *before* this round (global row/column structures, plus the
+///   diagonal match edge),
+/// * a cell is **safe** iff every unfinalized predecessor is safe and no
+///   predecessor finalized *this* round strictly improves `T`.  Within-round
+///   predecessors are checked through per-row/per-column *band* structures
+///   holding only this round's finalizations; cross-row blocking is the
+///   `cutoff` watermark minimum, which also keeps the staircase invariant.
+///
+/// Every cell whose predecessors were all finalized before the round is safe
+/// by construction, so each round finalizes at least the whole ready
+/// wavefront — rounds never exceed `n + m` and match the effective depth
+/// exactly (pinned against a brute-force oracle in the tests).
+pub struct PackedGapCordon<'i, 'a, W1, W2> {
+    inst: &'i GapInstance<'a, W1, W2>,
+    d: Vec<Vec<i64>>,
+    /// Global structures over cells finalized in *previous* rounds.
+    row_struct: Vec<ConvexDecisionList>,
+    col_struct: Vec<ConvexDecisionList>,
+    /// `r[i]` = first unfinalized column of row `i` (`m + 1` = row done).
+    r: Vec<usize>,
+    /// Snapshot of `r` at the start of the current round.
+    r_start: Vec<usize>,
+    /// Per-column within-round veto structures, lazily cleared via `epoch`.
+    col_band: Vec<ConvexDecisionList>,
+    col_band_epoch: Vec<u64>,
+    epoch: u64,
+    /// Within-round veto structure for the row currently being swept.
+    row_band: ConvexDecisionList,
+    /// First row that can still make progress (rows above are finalized).
+    row_lo: usize,
+    n: usize,
+    m: usize,
+}
+
+impl<'i, 'a, W1, W2> PackedGapCordon<'i, 'a, W1, W2>
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    /// Initialize the DP grid, the staircase watermarks, and the structures.
+    pub fn new(inst: &'i GapInstance<'a, W1, W2>) -> Self {
+        let (n, m) = (inst.a.len(), inst.b.len());
+        let mut d = vec![vec![INF; m + 1]; n + 1];
+        d[0][0] = 0;
+        let mut row_struct: Vec<ConvexDecisionList> =
+            (0..=n).map(|_| ConvexDecisionList::new(m)).collect();
+        let mut col_struct: Vec<ConvexDecisionList> =
+            (0..=m).map(|_| ConvexDecisionList::new(n)).collect();
+        row_struct[0].insert(0, 0, &inst.w2);
+        col_struct[0].insert(0, 0, &inst.w1);
+        let mut r = vec![0usize; n + 1];
+        r[0] = 1;
+        PackedGapCordon {
+            inst,
+            d,
+            row_struct,
+            col_struct,
+            r_start: r.clone(),
+            r,
+            col_band: (0..=m).map(|_| ConvexDecisionList::new(n)).collect(),
+            col_band_epoch: vec![0; m + 1],
+            epoch: 0,
+            row_band: ConvexDecisionList::new(m),
+            row_lo: 0,
+            n,
+            m,
+        }
+    }
+}
+
+impl<W1, W2> PhaseParallel for PackedGapCordon<'_, '_, W1, W2>
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    /// The completed DP grid.
+    type Output = Vec<Vec<i64>>;
+
+    fn is_done(&self) -> bool {
+        // `r` is non-increasing, so the last row's watermark bounds them all.
+        self.r[self.n] > self.m
+    }
+
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        let (inst, n, m) = (self.inst, self.n, self.m);
+        let (w1, w2) = (&inst.w1, &inst.w2);
+        self.epoch += 1;
+        while self.row_lo <= n && self.r[self.row_lo] > m {
+            self.row_lo += 1;
+        }
+        let row_lo = self.row_lo;
+        self.r_start.copy_from_slice(&self.r);
+        let mut finalized = 0usize;
+        let mut probes = 0u64;
+        let mut wasted = 0u64;
+        // Touched column range of this round (for the parallel publish phase).
+        let (mut col_lo, mut col_hi) = (m + 1, 0usize);
+        let mut row_hi = row_lo;
+        // `cutoff` = min over rows above of the post-round watermark: a cell
+        // (i, j) with j >= cutoff has an unfinalized column predecessor that
+        // this round does not resolve, so it cannot be safe.  Rows above
+        // `row_lo` are fully finalized and impose no cutoff.
+        let mut cutoff = m + 1;
+        for i in row_lo..=n {
+            if cutoff == 0 {
+                break;
+            }
+            row_hi = i;
+            let start = self.r[i];
+            if start >= cutoff {
+                // Blocked at its first unfinalized cell by the column above;
+                // the new watermark equals the old one (>= cutoff already).
+                continue;
+            }
+            self.row_band.reset(m);
+            let mut j = start;
+            while j < cutoff {
+                // Tentative from cells finalized before this round.
+                let mut t = self.col_struct[j].query(i, w1);
+                t = t.min(self.row_struct[i].query(j, w2));
+                probes += 2;
+                // The diagonal predecessor is always finalized here (it lies
+                // strictly left of the cutoff): merge it into the tentative
+                // if it predates the round, veto on it if it is from this
+                // round and strictly improving.
+                let mut diag_new = INF;
+                if i > 0 && j > 0 && inst.matches(i, j) {
+                    if j - 1 < self.r_start[i - 1] {
+                        t = t.min(self.d[i - 1][j - 1]);
+                    } else {
+                        diag_new = self.d[i - 1][j - 1];
+                    }
+                }
+                // Veto: a cell finalized this round strictly improves the
+                // tentative => the cell's value is not settled yet (Bad).
+                let band_col = if self.col_band_epoch[j] == self.epoch {
+                    probes += 1;
+                    self.col_band[j].query(i, w1)
+                } else {
+                    INF
+                };
+                let band_row = self.row_band.query(j, w2);
+                probes += 1;
+                if band_col < t || band_row < t || diag_new < t {
+                    wasted += 1;
+                    break;
+                }
+                self.d[i][j] = t;
+                self.row_band.insert(j, t, w2);
+                if self.col_band_epoch[j] != self.epoch {
+                    self.col_band_epoch[j] = self.epoch;
+                    self.col_band[j].reset(n);
+                }
+                self.col_band[j].insert(i, t, w1);
+                finalized += 1;
+                j += 1;
+            }
+            if j > start {
+                col_lo = col_lo.min(start);
+                col_hi = col_hi.max(j);
+            }
+            self.r[i] = j;
+            cutoff = cutoff.min(j);
+        }
+        // Publish this round's cells into the global structures: each row and
+        // each column receives a contiguous, independent run of insertions
+        // (the staircase invariant makes per-column row ranges contiguous).
+        if finalized > 0 {
+            let (rs, rstart, d) = (&self.r, &self.r_start, &self.d);
+            let grain_rows = round_min_grain(row_hi - row_lo + 1);
+            self.row_struct[row_lo..=row_hi]
+                .par_iter_mut()
+                .enumerate()
+                .with_min_len(grain_rows)
+                .for_each(|(off, st)| {
+                    let i = row_lo + off;
+                    for j in rstart[i]..rs[i] {
+                        st.insert(j, d[i][j], w2);
+                    }
+                });
+            let grain_cols = round_min_grain(col_hi - col_lo);
+            self.col_struct[col_lo..col_hi]
+                .par_iter_mut()
+                .enumerate()
+                .with_min_len(grain_cols)
+                .for_each(|(off, st)| {
+                    let j = col_lo + off;
+                    // Rows finalized in column j this round: r_start[i] <= j
+                    // < r[i]; both watermark arrays are non-increasing, so
+                    // this is the contiguous range [q, p).
+                    let p = rs.partition_point(|&x| x > j);
+                    let q = rstart.partition_point(|&x| x > j);
+                    for i in q..p {
+                        st.insert(i, d[i][j], w1);
+                    }
+                });
+        }
+        metrics.add_edges(3 * finalized as u64);
+        metrics.add_probes(probes);
+        metrics.add_wasted(wasted);
+        finalized
+    }
+
+    fn finish(self) -> Self::Output {
+        self.d
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        // The effective depth never exceeds the grid depth n + m.
+        Some((self.n + self.m) as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Alignment reconstruction.
+// ---------------------------------------------------------------------------
+
+/// One move of an optimal GAP alignment, as recovered by
+/// [`reconstruct_gap_ops`].  Positions are 1-based, matching the DP indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapOp {
+    /// Align `A[i]` with `B[j]` (the characters are equal).
+    Match {
+        /// Position in `A`.
+        i: usize,
+        /// Position in `B`.
+        j: usize,
+    },
+    /// Delete the block `A[l+1..=r]` at cost `w1(l, r)`.
+    GapA {
+        /// Left endpoint (exclusive).
+        l: usize,
+        /// Right endpoint (inclusive).
+        r: usize,
+    },
+    /// Delete the block `B[l+1..=r]` at cost `w2(l, r)`.
+    GapB {
+        /// Left endpoint (exclusive).
+        l: usize,
+        /// Right endpoint (inclusive).
+        r: usize,
+    },
+}
+
+/// Trace one optimal alignment back through a completed DP grid `d` (as
+/// returned by any of the GAP evaluations).  Deterministic tie-breaking:
+/// prefer a match, then the shortest gap in `A`, then the shortest gap in
+/// `B` — so identical grids always reconstruct identical alignments.
+///
+/// # Panics
+///
+/// Panics if `d` is not a valid DP grid for `inst` (no predecessor explains
+/// some cell's value).
+pub fn reconstruct_gap_ops<W1, W2>(inst: &GapInstance<'_, W1, W2>, d: &[Vec<i64>]) -> Vec<GapOp>
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    let (n, m) = (inst.a.len(), inst.b.len());
+    assert_eq!(d.len(), n + 1, "grid has wrong number of rows");
+    assert_eq!(d[0].len(), m + 1, "grid has wrong number of columns");
+    let (mut i, mut j) = (n, m);
+    let mut ops = Vec::new();
+    while i > 0 || j > 0 {
+        let cur = d[i][j];
+        if i > 0 && j > 0 && inst.matches(i, j) && d[i - 1][j - 1] == cur {
+            ops.push(GapOp::Match { i, j });
+            i -= 1;
+            j -= 1;
+        } else if let Some(ip) = (0..i).rev().find(|&ip| d[ip][j] + (inst.w1)(ip, i) == cur) {
+            ops.push(GapOp::GapA { l: ip, r: i });
+            i = ip;
+        } else if let Some(jp) = (0..j).rev().find(|&jp| d[i][jp] + (inst.w2)(jp, j) == cur) {
+            ops.push(GapOp::GapB { l: jp, r: j });
+            j = jp;
+        } else {
+            panic!("not a valid GAP DP grid at cell ({i}, {j})");
+        }
+    }
+    ops.reverse();
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +857,212 @@ mod tests {
         assert_eq!(want.cost, 36);
         assert_eq!(parallel_gap(&inst).cost, 36);
         assert_eq!(sequential_gap(&inst).cost, 36);
+    }
+
+    /// Brute-force oracle for the packed schedule: simulate round assignment
+    /// cell by cell.  A cell finalizes in round `M` (the latest round among
+    /// its predecessors) when the best value through *earlier*-finalized
+    /// predecessors already equals its DP value, and in round `M + 1`
+    /// otherwise (its tentative still strictly improves in round `M`).  The
+    /// maximum over all cells is the instance's effective depth.
+    fn effective_depth_oracle<W1, W2>(inst: &GapInstance<'_, W1, W2>) -> u64
+    where
+        W1: Fn(usize, usize) -> i64 + Sync,
+        W2: Fn(usize, usize) -> i64 + Sync,
+    {
+        let d = naive_gap(inst).d;
+        let (n, m) = (inst.a.len(), inst.b.len());
+        let mut rd = vec![vec![0u64; m + 1]; n + 1];
+        let mut depth = 0;
+        for i in 0..=n {
+            for j in 0..=m {
+                if i == 0 && j == 0 {
+                    continue;
+                }
+                let mut preds: Vec<(u64, i64)> = Vec::new();
+                for ip in 0..i {
+                    preds.push((rd[ip][j], d[ip][j] + (inst.w1)(ip, i)));
+                }
+                for jp in 0..j {
+                    preds.push((rd[i][jp], d[i][jp] + (inst.w2)(jp, j)));
+                }
+                if i > 0 && j > 0 && inst.matches(i, j) {
+                    preds.push((rd[i - 1][j - 1], d[i - 1][j - 1]));
+                }
+                let max_r = preds.iter().map(|&(r, _)| r).max().unwrap();
+                let older = preds
+                    .iter()
+                    .filter(|&&(r, _)| r < max_r)
+                    .map(|&(_, v)| v)
+                    .min()
+                    .unwrap_or(INF);
+                rd[i][j] = if older == d[i][j] { max_r } else { max_r + 1 };
+                depth = depth.max(rd[i][j]);
+            }
+        }
+        depth
+    }
+
+    fn assert_packed_depth<W1, W2>(inst: &GapInstance<'_, W1, W2>)
+    where
+        W1: Fn(usize, usize) -> i64 + Sync,
+        W2: Fn(usize, usize) -> i64 + Sync,
+    {
+        let packed = parallel_gap_packed(inst);
+        let depth = effective_depth_oracle(inst);
+        assert!(
+            packed.metrics.rounds <= depth + 1,
+            "packed rounds {} exceed effective depth {depth} + 1",
+            packed.metrics.rounds
+        );
+        assert_eq!(
+            packed.metrics.rounds, depth,
+            "packed rounds should match the effective depth exactly"
+        );
+        assert!(packed.metrics.rounds <= (inst.a.len() + inst.b.len()) as u64);
+    }
+
+    #[test]
+    fn packed_matches_wavefront_and_naive_on_random_inputs() {
+        for seed in 0..6 {
+            for &(open, ext, quad) in &[(2i64, 1i64, 0i64), (10, 0, 1), (50, 3, 2)] {
+                let a = pseudo_string(28, seed, 3);
+                let b = pseudo_string(23, seed + 77, 3);
+                let inst = convex_gap_instance(&a, &b, open, ext, quad);
+                let want = naive_gap(&inst);
+                let wave = parallel_gap(&inst);
+                let packed = parallel_gap_packed(&inst);
+                assert_eq!(packed.d, want.d, "seed {seed} cost ({open},{ext},{quad})");
+                assert_eq!(packed.d, wave.d, "seed {seed} cost ({open},{ext},{quad})");
+                assert!(
+                    packed.metrics.rounds <= wave.metrics.rounds,
+                    "packing must never use more rounds than the wavefront"
+                );
+                assert_eq!(
+                    reconstruct_gap_ops(&inst, &packed.d),
+                    reconstruct_gap_ops(&inst, &wave.d),
+                    "identical grids must reconstruct identical alignments"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matches_wavefront_on_adversarial_instances() {
+        // Identical strings: the all-match diagonal aligns for free.
+        let a = pseudo_string(30, 1, 4);
+        let inst = convex_gap_instance(&a, &a, 5, 1, 1);
+        let packed = parallel_gap_packed(&inst);
+        assert_eq!(packed.cost, 0);
+        assert_eq!(packed.d, parallel_gap(&inst).d);
+
+        // Disjoint alphabets: both strings must be deleted whole.
+        let z = vec![0u8; 12];
+        let o = vec![1u8; 7];
+        let inst = convex_gap_instance(&z, &o, 3, 2, 0);
+        assert_eq!(parallel_gap_packed(&inst).d, parallel_gap(&inst).d);
+
+        // Empty strings on either side, and both empty (zero rounds).
+        let empty: Vec<u8> = vec![];
+        let b = pseudo_string(5, 2, 3);
+        let inst = convex_gap_instance(&empty, &b, 4, 1, 1);
+        assert_eq!(parallel_gap_packed(&inst).d, parallel_gap(&inst).d);
+        let inst = convex_gap_instance(&b, &empty, 4, 1, 1);
+        assert_eq!(parallel_gap_packed(&inst).d, parallel_gap(&inst).d);
+        let inst = convex_gap_instance(&empty, &empty, 4, 1, 1);
+        let trivial = parallel_gap_packed(&inst);
+        assert_eq!(trivial.cost, 0);
+        assert_eq!(trivial.metrics.rounds, 0);
+
+        // Asymmetric costs (deleting from A is much more expensive).
+        let a = pseudo_string(20, 3, 2);
+        let b = pseudo_string(25, 9, 2);
+        let inst = GapInstance::new(
+            &a,
+            &b,
+            |l: usize, r: usize| 100 + 10 * (r - l) as i64,
+            |l: usize, r: usize| 1 + (r - l) as i64,
+        );
+        assert_eq!(parallel_gap_packed(&inst).d, parallel_gap(&inst).d);
+    }
+
+    #[test]
+    fn packed_rounds_equal_effective_depth() {
+        for seed in 0..4 {
+            for &(open, ext, quad) in &[(2i64, 1i64, 0i64), (10, 0, 1)] {
+                let a = pseudo_string(18, seed, 3);
+                let b = pseudo_string(15, seed + 41, 3);
+                let inst = convex_gap_instance(&a, &b, open, ext, quad);
+                assert_packed_depth(&inst);
+            }
+        }
+        // Adversarial shapes.
+        let a = pseudo_string(16, 1, 4);
+        assert_packed_depth(&convex_gap_instance(&a, &a, 5, 1, 1));
+        let z = vec![0u8; 10];
+        let o = vec![1u8; 8];
+        assert_packed_depth(&convex_gap_instance(&z, &o, 3, 2, 0));
+        let empty: Vec<u8> = vec![];
+        assert_packed_depth(&convex_gap_instance(&empty, &o, 4, 1, 1));
+    }
+
+    #[test]
+    fn packed_compresses_rounds_on_shallow_instances() {
+        // Disjoint alphabets with an affine cost have effective depth 2: one
+        // gap along each axis reaches every cell through round-1 boundary
+        // cells.  The wavefront still runs all n + m anti-diagonals; the
+        // packed cordon collapses them.
+        let z = vec![0u8; 60];
+        let o = vec![1u8; 60];
+        let inst = convex_gap_instance(&z, &o, 3, 2, 0);
+        let wave = parallel_gap(&inst);
+        let packed = parallel_gap_packed(&inst);
+        assert_eq!(wave.metrics.rounds, 120);
+        assert_eq!(packed.d, wave.d);
+        assert_eq!(packed.metrics.rounds, 2);
+
+        // An all-match instance is the opposite extreme: the diagonal is a
+        // chain of strict improvements, so the effective depth is n — still
+        // half the wavefront's 2n rounds.
+        let a = pseudo_string(60, 7, 4);
+        let inst = convex_gap_instance(&a, &a, 5, 1, 1);
+        let wave = parallel_gap(&inst);
+        let packed = parallel_gap_packed(&inst);
+        assert_eq!(packed.d, wave.d);
+        assert_eq!(packed.metrics.rounds, 60);
+        assert_eq!(wave.metrics.rounds, 120);
+    }
+
+    #[test]
+    fn reconstruction_covers_both_strings_and_recomputes_cost() {
+        let a = pseudo_string(24, 11, 3);
+        let b = pseudo_string(19, 12, 3);
+        let inst = convex_gap_instance(&a, &b, 4, 1, 1);
+        let res = parallel_gap_packed(&inst);
+        let ops = reconstruct_gap_ops(&inst, &res.d);
+        let (mut i, mut j, mut cost) = (0usize, 0usize, 0i64);
+        for op in &ops {
+            match *op {
+                GapOp::Match { i: oi, j: oj } => {
+                    assert_eq!((oi, oj), (i + 1, j + 1), "match must advance both");
+                    assert_eq!(a[oi - 1], b[oj - 1], "matched characters must agree");
+                    i = oi;
+                    j = oj;
+                }
+                GapOp::GapA { l, r } => {
+                    assert_eq!(l, i, "A-gap must start at the current position");
+                    cost += (inst.w1)(l, r);
+                    i = r;
+                }
+                GapOp::GapB { l, r } => {
+                    assert_eq!(l, j, "B-gap must start at the current position");
+                    cost += (inst.w2)(l, r);
+                    j = r;
+                }
+            }
+        }
+        assert_eq!((i, j), (a.len(), b.len()), "ops must cover both strings");
+        assert_eq!(cost, res.cost, "op costs must recompute the DP optimum");
     }
 
     #[test]

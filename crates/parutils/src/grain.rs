@@ -61,14 +61,35 @@ impl Default for GrainHint {
     }
 }
 
+/// Worker threads that can actually run simultaneously: the configured pool
+/// size capped by the machine's available parallelism.  Splitting a loop into
+/// more grains than the hardware can run concurrently buys no steal balance
+/// and pays real scheduling cost — oversubscribed workers only add context
+/// switches on the critical path.
+fn effective_parallelism() -> usize {
+    // Cached: `available_parallelism()` probes cgroup files on Linux, which
+    // allocates — the sub-cutoff fast path must stay allocation-free.
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let hw = *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    rayon::current_num_threads().max(1).min(hw)
+}
+
 impl GrainHint {
     /// The `with_min_len` value for a parallel loop over `len` items.
     pub fn min_grain(&self, len: usize) -> usize {
-        if len < self.seq_below {
+        self.min_grain_for(len, effective_parallelism())
+    }
+
+    /// [`GrainHint::min_grain`] with an explicit simultaneous-thread count
+    /// (exposed so the policy math is testable on any host).  With a single
+    /// effective thread every loop stays inline — forking on a machine that
+    /// can only run one grain at a time is pure overhead, whatever the
+    /// configured pool size.
+    pub fn min_grain_for(&self, len: usize, threads: usize) -> usize {
+        if len < self.seq_below || threads <= 1 {
             // One grain: the shim runs the loop inline on the calling thread.
             return len.max(1);
         }
-        let threads = rayon::current_num_threads().max(1);
         let target = len.div_ceil((threads * self.grains_per_thread).max(1));
         // Never fork below a quarter cutoff of work per grain.
         target.max(SEQ_CUTOFF / 4).max(1)
@@ -165,14 +186,16 @@ pub fn with_grain_policy<R>(policy: &GrainPolicy, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// The [`GrainHint`] active in the current round: the driver-installed
+/// [`GrainPolicy`] hint when one is active, the default parameters otherwise.
+pub fn round_hint() -> GrainHint {
+    ACTIVE_HINT.with(Cell::get).unwrap_or_default()
+}
+
 /// The `with_min_len` hint for a parallel loop over `len` items in the
-/// current round: the driver-installed [`GrainPolicy`] hint when one is
-/// active, the default parameters otherwise.
+/// current round (see [`round_hint`]).
 pub fn round_min_grain(len: usize) -> usize {
-    ACTIVE_HINT
-        .with(Cell::get)
-        .unwrap_or_default()
-        .min_grain(len)
+    round_hint().min_grain(len)
 }
 
 #[cfg(test)]
@@ -189,14 +212,26 @@ mod tests {
 
     #[test]
     fn large_frontiers_split_proportionally_to_threads() {
-        let policy = GrainPolicy::new();
+        let hint = GrainHint::default();
         let len = 1 << 20;
-        let grain = policy.min_grain(len);
-        assert!(grain >= SEQ_CUTOFF / 4);
-        assert!(grain < len, "a large loop must fork");
-        let threads = rayon::current_num_threads().max(1);
-        // Default hint: ~4 grains per thread.
-        assert_eq!(grain, len.div_ceil(threads * GRAINS_DEFAULT));
+        for threads in [2usize, 4, 8] {
+            let grain = hint.min_grain_for(len, threads);
+            assert!(grain >= SEQ_CUTOFF / 4);
+            assert!(grain < len, "a large loop must fork at {threads} threads");
+            // Default hint: ~4 grains per thread.
+            assert_eq!(grain, len.div_ceil(threads * GRAINS_DEFAULT));
+        }
+    }
+
+    #[test]
+    fn single_effective_thread_never_forks() {
+        // On one simultaneously-runnable thread (a single-core host, or a
+        // pool of one worker), every loop must stay inline no matter how
+        // large: grains beyond the hardware only add context switches.
+        let hint = GrainHint::default();
+        let len = 1 << 20;
+        assert_eq!(hint.min_grain_for(len, 1), len);
+        assert_eq!(hint.min_grain_for(len, 0), len);
     }
 
     #[test]
@@ -212,7 +247,7 @@ mod tests {
         assert_eq!(stable.hint().grains_per_thread, GRAINS_COARSE);
         assert_eq!(bursty.hint().grains_per_thread, GRAINS_FINE);
         let len = 1 << 20;
-        assert!(stable.min_grain(len) > bursty.min_grain(len));
+        assert!(stable.hint().min_grain_for(len, 8) > bursty.hint().min_grain_for(len, 8));
     }
 
     #[test]
@@ -233,13 +268,13 @@ mod tests {
         for _ in 0..WINDOW {
             policy.observe(1_000_000);
         }
-        let len = 1 << 20;
-        let outside = round_min_grain(len);
-        let inside = with_grain_policy(&policy, || round_min_grain(len));
+        let outside = round_hint();
+        let inside = with_grain_policy(&policy, round_hint);
         // Stable window -> coarser grains than the default hint.
-        assert!(inside > outside, "inside {inside} outside {outside}");
+        assert_eq!(outside.grains_per_thread, GRAINS_DEFAULT);
+        assert_eq!(inside.grains_per_thread, GRAINS_COARSE);
         // Restored after the closure.
-        assert_eq!(round_min_grain(len), outside);
+        assert_eq!(round_hint(), outside);
     }
 
     #[test]

@@ -9,17 +9,34 @@
 //! `O(log L)` span, which is what gives the `O(n log k)` / `O(L log n)` total
 //! work bounds of Theorems 3.1 and 3.2.
 //!
-//! The tree is represented as a pointer-based binary tree so that the two
-//! children of a node can be traversed by disjoint `&mut` borrows in parallel
-//! (`rayon::join`); the right child's traversal only needs the *pre-round*
-//! minimum of the left subtree, which is available in `O(1)` before either
-//! child is descended.
+//! # Layout
+//!
+//! The tree is *cache-blocked*: the sequence is cut into blocks of
+//! [`BLOCK`] consecutive positions, each stored as a flat implicit binary
+//! heap (`node v`'s children at `2v`/`2v+1`, leaves in one contiguous run),
+//! and a small flat *summary heap* over the per-block minima routes each
+//! round to the blocks that actually contain records.  Compared to the
+//! pointer-based tree this replaces per-node allocations and pointer chasing
+//! with sequential scans of arrays that fit in L1/L2, and it gives the
+//! parallel round a natural decomposition: blocks are disjoint `&mut`
+//! borrows, so touched blocks are extracted concurrently by splitting the
+//! block slice — no interior mutability, no per-round allocation (each block
+//! reuses a records buffer).
+//!
+//! Rounds whose estimated work is below the active grain hint run entirely
+//! on the calling thread: no pool job is pushed and no worker is woken
+//! (pinned by the dispatch-counter test in `tests/pool_fastpath.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use pardp_core::PhaseParallel;
-use pardp_parutils::{maybe_join, MetricsCollector};
+use pardp_parutils::{round_min_grain, MetricsCollector};
+
+/// Positions per cache block.  A block's heap is `2 × BLOCK` `Option<K>`
+/// slots — 32 KiB for `i64` keys, small enough that one round's scan of a
+/// block stays in L1/L2.
+const BLOCK: usize = 1024;
 
 /// Whether an earlier element with an *equal* key blocks a later element from
 /// being a prefix-minimum record.
@@ -49,112 +66,6 @@ impl TieRule {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Node<K> {
-    Leaf {
-        pos: usize,
-        key: Option<K>,
-    },
-    Internal {
-        min: Option<K>,
-        size: usize,
-        left: Box<Node<K>>,
-        right: Box<Node<K>>,
-    },
-}
-
-impl<K: Ord + Copy + Send + Sync> Node<K> {
-    fn build(keys: &[K], offset: usize) -> Self {
-        debug_assert!(!keys.is_empty());
-        if keys.len() == 1 {
-            return Node::Leaf {
-                pos: offset,
-                key: Some(keys[0]),
-            };
-        }
-        let mid = keys.len() / 2;
-        let (l, r) = keys.split_at(mid);
-        let (left, right) = maybe_join(
-            keys.len(),
-            || Node::build(l, offset),
-            || Node::build(r, offset + mid),
-        );
-        let min = min_opt(left.min(), right.min());
-        Node::Internal {
-            min,
-            size: keys.len(),
-            left: Box::new(left),
-            right: Box::new(right),
-        }
-    }
-
-    #[inline]
-    fn min(&self) -> Option<K> {
-        match self {
-            Node::Leaf { key, .. } => *key,
-            Node::Internal { min, .. } => *min,
-        }
-    }
-
-    /// Extract every prefix-minimum record in this subtree given that the
-    /// minimum active key strictly to the left of the subtree is `carry`.
-    /// Extracted leaves are deactivated and subtree minima are repaired on the
-    /// way back up.  Returns the records as `(position, key)` pairs in
-    /// left-to-right order.
-    fn extract(&mut self, carry: Option<K>, rule: TieRule) -> Vec<(usize, K)> {
-        match self {
-            Node::Leaf { pos, key } => {
-                if let Some(k) = *key {
-                    if rule.is_record(k, carry) {
-                        *key = None;
-                        return vec![(*pos, k)];
-                    }
-                }
-                Vec::new()
-            }
-            Node::Internal {
-                min,
-                size,
-                left,
-                right,
-            } => {
-                // Prune: if even the smallest key in this subtree is not a
-                // record w.r.t. `carry`, nothing inside can be.
-                match *min {
-                    None => return Vec::new(),
-                    Some(m) => {
-                        if !rule.is_record(m, carry) {
-                            return Vec::new();
-                        }
-                    }
-                }
-                // The right subtree's carry uses the *pre-extraction* minimum
-                // of the left subtree: elements removed from the left in this
-                // very round were active when the round started, and the
-                // cordon is defined against the state at the start of the
-                // round (all extracted elements share the same DP value).
-                let left_min_before = left.min();
-                let right_carry = min_opt(carry, left_min_before);
-                let (mut lres, rres) = maybe_join(
-                    *size,
-                    || left.extract(carry, rule),
-                    || right.extract(right_carry, rule),
-                );
-                *min = min_opt(left.min(), right.min());
-                lres.extend(rres);
-                lres
-            }
-        }
-    }
-
-    fn active_count(&self) -> usize {
-        match self {
-            Node::Leaf { key, .. } => usize::from(key.is_some()),
-            Node::Internal { left, right, .. } => left.active_count() + right.active_count(),
-        }
-    }
-}
-
 #[inline]
 fn min_opt<K: Ord>(a: Option<K>, b: Option<K>) -> Option<K> {
     match (a, b) {
@@ -163,26 +74,166 @@ fn min_opt<K: Ord>(a: Option<K>, b: Option<K>) -> Option<K> {
     }
 }
 
+/// One cache block: an implicit heap over up to [`BLOCK`] consecutive
+/// positions plus a reusable buffer for the records it produced this round.
+#[derive(Debug, Clone)]
+struct Block<K> {
+    /// Implicit heap: root at index 1, node `v`'s children at `2v` / `2v+1`,
+    /// leaf for local position `i` at `cap + i` (positions past `len` are
+    /// permanently `None`).
+    tree: Vec<Option<K>>,
+    /// Leaf capacity (`len` rounded up to a power of two).
+    cap: usize,
+    /// Global position of the block's first element.
+    base: usize,
+    /// Still-active elements in this block.
+    active: usize,
+    /// Records extracted in the current round, `(global position, key)` in
+    /// increasing position order.  Cleared and refilled each round the block
+    /// is touched; capacity is retained, so steady-state rounds do not
+    /// allocate.
+    records: Vec<(usize, K)>,
+}
+
+impl<K: Ord + Copy> Block<K> {
+    fn build(keys: &[K], base: usize) -> Self {
+        debug_assert!(!keys.is_empty());
+        let cap = keys.len().next_power_of_two();
+        let mut tree = vec![None; 2 * cap];
+        for (i, &k) in keys.iter().enumerate() {
+            tree[cap + i] = Some(k);
+        }
+        for v in (1..cap).rev() {
+            tree[v] = min_opt(tree[2 * v], tree[2 * v + 1]);
+        }
+        Block {
+            tree,
+            cap,
+            base,
+            active: keys.len(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Minimum active key in the block (the heap root).
+    #[inline]
+    fn min(&self) -> Option<K> {
+        self.tree[1]
+    }
+
+    /// Extract every record of this block into `self.records`, given the
+    /// minimum active key strictly to the block's left at round start.
+    fn extract(&mut self, carry: Option<K>, rule: TieRule) {
+        self.records.clear();
+        self.extract_node(1, carry, rule);
+    }
+
+    fn extract_node(&mut self, node: usize, carry: Option<K>, rule: TieRule) {
+        // Prune: if even the smallest key below `node` is not a record
+        // w.r.t. `carry`, nothing below can be.
+        let m = match self.tree[node] {
+            None => return,
+            Some(m) => m,
+        };
+        if !rule.is_record(m, carry) {
+            return;
+        }
+        if node >= self.cap {
+            self.tree[node] = None;
+            self.records.push((self.base + (node - self.cap), m));
+            self.active -= 1;
+            return;
+        }
+        // The right child's carry uses the *pre-extraction* minimum of the
+        // left child: elements removed on the left in this very round were
+        // active when the round started, and the cordon is defined against
+        // the state at the start of the round (all extracted elements share
+        // the same DP value).
+        let right_carry = min_opt(carry, self.tree[2 * node]);
+        self.extract_node(2 * node, carry, rule);
+        self.extract_node(2 * node + 1, right_carry, rule);
+        self.tree[node] = min_opt(self.tree[2 * node], self.tree[2 * node + 1]);
+    }
+}
+
+/// Extract `touched` blocks in parallel by recursively splitting the block
+/// slice: the touched list is sorted by block index, so each half of the
+/// list maps to a disjoint sub-slice of `blocks` (`split_at_mut` — no
+/// interior mutability needed).  `first` is the global index of `blocks[0]`;
+/// `grain` is the fork cutoff in touched-block units.
+fn extract_touched<K: Ord + Copy + Send + Sync>(
+    blocks: &mut [Block<K>],
+    first: usize,
+    touched: &[(usize, Option<K>)],
+    rule: TieRule,
+    grain: usize,
+) {
+    if touched.len() <= grain.max(1) {
+        for &(b, carry) in touched {
+            blocks[b - first].extract(carry, rule);
+        }
+        return;
+    }
+    let mid = touched.len() / 2;
+    let (left, right) = touched.split_at(mid);
+    let split = right[0].0;
+    let (bl, br) = blocks.split_at_mut(split - first);
+    rayon::join(
+        || extract_touched(bl, first, left, rule, grain),
+        || extract_touched(br, split, right, rule, grain),
+    );
+}
+
 /// Tournament tree over a fixed sequence of keys.
 #[derive(Debug, Clone)]
 pub struct TournamentTree<K> {
-    root: Option<Node<K>>,
+    blocks: Vec<Block<K>>,
+    /// Implicit heap over the per-block minima: root at 1, block `b`'s leaf
+    /// at `scap + b`.  Routes each round to the blocks containing records in
+    /// `O(t · log(B/t))` for `t` touched blocks.
+    summary: Vec<Option<K>>,
+    scap: usize,
+    /// Blocks touched by the current round with their carries, in increasing
+    /// block order.  Reused across rounds.
+    touched: Vec<(usize, Option<K>)>,
     len: usize,
+    active: usize,
     rule: TieRule,
 }
 
 impl<K: Ord + Copy + Send + Sync> TournamentTree<K> {
     /// Build the tree over `keys` (positions are `0..keys.len()`), with the
-    /// given tie rule.  `O(n)` work, `O(log n)` span.
+    /// given tie rule.  `O(n)` work, `O(log n)` span; blocks are built in
+    /// parallel for large inputs, fully inline for sub-grain ones.
     pub fn new(keys: &[K], rule: TieRule) -> Self {
-        let root = if keys.is_empty() {
-            None
-        } else {
-            Some(Node::build(keys, 0))
-        };
+        use rayon::prelude::*;
+        let len = keys.len();
+        let num_blocks = len.div_ceil(BLOCK);
+        let grain_blocks = round_min_grain(len).div_ceil(BLOCK).max(1);
+        let blocks: Vec<Block<K>> = (0..num_blocks)
+            .into_par_iter()
+            .with_min_len(grain_blocks)
+            .map(|b| {
+                let lo = b * BLOCK;
+                let hi = (lo + BLOCK).min(len);
+                Block::build(&keys[lo..hi], lo)
+            })
+            .collect();
+        let scap = num_blocks.next_power_of_two().max(1);
+        let mut summary = vec![None; 2 * scap];
+        for (b, blk) in blocks.iter().enumerate() {
+            summary[scap + b] = blk.min();
+        }
+        for v in (1..scap).rev() {
+            summary[v] = min_opt(summary[2 * v], summary[2 * v + 1]);
+        }
         TournamentTree {
-            root,
-            len: keys.len(),
+            blocks,
+            summary,
+            scap,
+            touched: Vec::new(),
+            len,
+            active: len,
             rule,
         }
     }
@@ -197,15 +248,77 @@ impl<K: Ord + Copy + Send + Sync> TournamentTree<K> {
         self.len == 0
     }
 
-    /// Number of still-active (not yet extracted) elements.  `O(n)`; intended
-    /// for tests and assertions, not hot loops.
+    /// Number of still-active (not yet extracted) elements.
     pub fn active_count(&self) -> usize {
-        self.root.as_ref().map_or(0, Node::active_count)
+        self.active
     }
 
     /// Minimum key among the active elements, if any.
     pub fn min_active(&self) -> Option<K> {
-        self.root.as_ref().and_then(Node::min)
+        self.summary[1]
+    }
+
+    /// Walk the summary heap, collecting every block whose minimum is a
+    /// record under its carry (exactly the blocks containing ≥ 1 record)
+    /// into `self.touched`, in increasing block order.  Uses the pre-round
+    /// summary minima throughout, so right-sibling carries see the state at
+    /// round start.
+    fn collect_touched(&mut self, node: usize, carry: Option<K>) {
+        let m = match self.summary[node] {
+            None => return,
+            Some(m) => m,
+        };
+        if !self.rule.is_record(m, carry) {
+            return;
+        }
+        if node >= self.scap {
+            self.touched.push((node - self.scap, carry));
+            return;
+        }
+        let right_carry = min_opt(carry, self.summary[2 * node]);
+        self.collect_touched(2 * node, carry);
+        self.collect_touched(2 * node + 1, right_carry);
+    }
+
+    /// Run one extraction round: fill each touched block's `records` buffer
+    /// and repair the summary.  Returns the number of records extracted.
+    ///
+    /// Sub-grain rounds (estimated work below the active
+    /// [`round_min_grain`] hint) run entirely on the calling thread and push
+    /// no pool jobs.
+    fn extract_round(&mut self) -> usize {
+        self.touched.clear();
+        if self.active == 0 {
+            return 0;
+        }
+        self.collect_touched(1, None);
+        debug_assert!(!self.touched.is_empty());
+        // Each touched block costs at most one block scan; cap the estimate
+        // by the number of elements still alive.
+        let est_work = (self.touched.len() * BLOCK).min(self.active);
+        let grain = round_min_grain(est_work);
+        let grain_blocks = if grain >= est_work {
+            // Sub-grain round: stay on the calling thread, no pool traffic.
+            self.touched.len()
+        } else {
+            grain.div_ceil(BLOCK).max(1)
+        };
+        let rule = self.rule;
+        extract_touched(&mut self.blocks, 0, &self.touched, rule, grain_blocks);
+        let mut count = 0;
+        for &(b, _) in &self.touched {
+            count += self.blocks[b].records.len();
+            self.summary[self.scap + b] = self.blocks[b].min();
+        }
+        for &(b, _) in &self.touched {
+            let mut v = (self.scap + b) / 2;
+            while v >= 1 {
+                self.summary[v] = min_opt(self.summary[2 * v], self.summary[2 * v + 1]);
+                v /= 2;
+            }
+        }
+        self.active -= count;
+        count
     }
 
     /// Extract and deactivate every prefix-minimum record, returning them as
@@ -215,10 +328,12 @@ impl<K: Ord + Copy + Send + Sync> TournamentTree<K> {
     /// key blocks it under the tree's [`TieRule`].  Returns an empty vector
     /// once all elements have been extracted.
     pub fn extract_prefix_minima(&mut self) -> Vec<(usize, K)> {
-        match &mut self.root {
-            None => Vec::new(),
-            Some(root) => root.extract(None, self.rule),
+        let count = self.extract_round();
+        let mut out = Vec::with_capacity(count);
+        for &(b, _) in &self.touched {
+            out.extend_from_slice(&self.blocks[b].records);
         }
+        out
     }
 }
 
@@ -257,17 +372,23 @@ impl<K: Ord + Copy + Send + Sync> PhaseParallel for StaircaseCordon<K> {
     }
 
     fn round(&mut self, metrics: &MetricsCollector) -> usize {
-        let records = self.tree.extract_prefix_minima();
-        if records.is_empty() {
+        let count = self.tree.extract_round();
+        if count == 0 {
             return 0;
         }
         self.round += 1;
-        metrics.add_edges(records.len() as u64);
-        self.remaining -= records.len();
-        for (pos, _) in records.iter() {
-            self.values[*pos] = self.round;
+        metrics.add_edges(count as u64);
+        self.remaining -= count;
+        // Drain the per-block record buffers straight into the DP values —
+        // no concatenated records vector is ever materialized.
+        let round = self.round;
+        let tree = &self.tree;
+        for &(b, _) in &tree.touched {
+            for &(pos, _) in &tree.blocks[b].records {
+                self.values[pos] = round;
+            }
         }
-        records.len()
+        count
     }
 
     fn finish(self) -> Self::Output {
@@ -386,8 +507,11 @@ mod tests {
 
     #[test]
     fn pseudo_random_inputs_match_oracle() {
-        // Deterministic pseudo-random sequences of several sizes.
-        for &n in &[1usize, 2, 3, 10, 63, 64, 65, 257, 1000, 5000] {
+        // Deterministic pseudo-random sequences of several sizes, straddling
+        // the block boundary (1024) and multiple blocks.
+        for &n in &[
+            1usize, 2, 3, 10, 63, 64, 65, 257, 1000, 1023, 1024, 1025, 5000,
+        ] {
             let keys: Vec<u64> = (0..n as u64).map(|i| (i * 48271 + 11) % 997).collect();
             check_against_oracle(&keys, TieRule::TiesAreRecords);
             check_against_oracle(&keys, TieRule::TiesBlocked);
@@ -403,6 +527,19 @@ mod tests {
         assert_eq!(tree.min_active(), Some(4));
         tree.extract_prefix_minima(); // removes 7 and 4
         assert_eq!(tree.min_active(), None);
+    }
+
+    #[test]
+    fn cross_block_carry_blocks_later_blocks() {
+        // A tiny key in block 0 must block everything in later blocks.
+        let mut keys = vec![1_000_000u64; 3000];
+        keys[0] = 0;
+        let mut tree = TournamentTree::new(&keys, TieRule::TiesBlocked);
+        assert_eq!(tree.extract_prefix_minima(), vec![(0, 0)]);
+        // With the blocker gone, every remaining (equal) key ties; under
+        // TiesBlocked only the first survives per round... the first element
+        // of the remaining sequence is the sole record.
+        assert_eq!(tree.extract_prefix_minima(), vec![(1, 1_000_000)]);
     }
 
     #[test]

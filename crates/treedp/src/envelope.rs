@@ -51,11 +51,17 @@ pub(crate) struct EnvelopeArena {
 
 impl EnvelopeArena {
     /// An empty arena for a tree with `n` non-root nodes whose root distances
-    /// never exceed `max_x`.
-    pub(crate) fn new(n: usize, max_x: u64, shape: CostShape) -> Self {
-        // Stacks hold at most n + 1 entries; one extra level keeps the
-        // descend loop simple for tiny trees.
-        let log = (usize::BITS - (n + 1).leading_zeros()).max(1) as usize;
+    /// never exceed `max_x`.  `max_stack` bounds the number of entries any
+    /// single stack version can hold — for heavy-light decompositions that is
+    /// the tree height + 1 (a heavy path has at most one node per depth), not
+    /// `n`.  The lifting rows are sized by it: `2^log >= max_stack + 1`
+    /// levels always suffice to descend a whole stack, so on shallow trees
+    /// each entry carries a handful of pointers instead of `log2 n` of them.
+    /// That cache-blocks the hot loops on both sides — pushes write a short
+    /// contiguous row, queries descend within it — and shrinks the whole
+    /// table to a fraction of the `n * log2 n` worst case.
+    pub(crate) fn new(n: usize, max_stack: usize, max_x: u64, shape: CostShape) -> Self {
+        let log = (usize::BITS - (max_stack + 1).leading_zeros()).max(1) as usize;
         EnvelopeArena {
             node: Vec::with_capacity(n + 1),
             key: Vec::with_capacity(n + 1),
@@ -226,7 +232,7 @@ mod tests {
         let dists: Vec<u64> = (0..40u64).map(|i| i * 3).collect();
         let es: Vec<i64> = (0..40).map(|i| ((i * 37 + 11) % 53) as i64 * 4).collect();
         let max_x = 200u64;
-        let mut arena = EnvelopeArena::new(40, max_x, shape);
+        let mut arena = EnvelopeArena::new(40, 40, max_x, shape);
         let mut cands: Vec<(usize, i64, u64)> = Vec::new();
         let mut top = NO_ENTRY;
         let mut versions = Vec::new();
@@ -271,7 +277,7 @@ mod tests {
 
     #[test]
     fn queries_spend_no_cost_evaluations() {
-        let mut arena = EnvelopeArena::new(8, 100, CostShape::Convex);
+        let mut arena = EnvelopeArena::new(8, 8, 100, CostShape::Convex);
         let mut top = NO_ENTRY;
         for u in 0..8usize {
             let mut f = |g: usize, x: u64| (x - 5 * g as u64) as i64;

@@ -382,7 +382,10 @@ where
             levels[hld.depth[v] - 1].push(v);
         }
         let max_x = inst.dist.iter().copied().max().unwrap_or(0);
-        let mut arena = EnvelopeArena::new(n, max_x, shape);
+        // A heavy-path stack holds at most one node per depth, so the arena's
+        // lifting rows are sized by the tree height, not n — on shallow trees
+        // that cache-blocks the push/query hot loops (see envelope.rs).
+        let mut arena = EnvelopeArena::new(n, hld.height() + 1, max_x, shape);
         let mut tops = vec![NO_ENTRY; n + 1];
         let mut version = vec![NO_ENTRY; n + 1];
         // The root is settled from the start: it seeds its path's envelope.

@@ -57,6 +57,30 @@ fn gap_results_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn packed_gap_results_are_bit_identical_across_thread_counts() {
+    let (a, b) = workloads::gap_strings(220, 180, 4, 5);
+    let inst = parallel_dp::gap::convex_gap_instance(&a, &b, 3, 1, 1);
+    let baseline = with_threads(1, || parallel_dp::gap::parallel_gap_packed(&inst));
+    for t in THREAD_COUNTS {
+        let run = with_threads(t, || parallel_dp::gap::parallel_gap_packed(&inst));
+        assert_eq!(run.d, baseline.d, "packed GAP grid differs at {t} threads");
+        assert_eq!(run.cost, baseline.cost);
+        assert_eq!(
+            run.metrics.frontier_sizes, baseline.metrics.frontier_sizes,
+            "packed GAP round schedule differs at {t} threads"
+        );
+    }
+    // The packed cordon must agree with the wavefront cordon cell for cell
+    // while using no more rounds (Theorem 5.2: rounds = effective depth).
+    let wave = with_threads(1, || parallel_dp::gap::parallel_gap(&inst));
+    assert_eq!(baseline.d, wave.d, "packed and wavefront GAP grids differ");
+    assert!(
+        baseline.metrics.rounds <= wave.metrics.rounds,
+        "packed GAP must not use more rounds than the wavefront"
+    );
+}
+
+#[test]
 fn hld_tree_glws_results_are_bit_identical_across_thread_counts() {
     let n = 8_000;
     let parent = workloads::random_tree(n, 3, 9);
