@@ -15,7 +15,7 @@ use pardp_lcs::{parallel_sparse_lcs, sequential_sparse_lcs, MatchPair};
 use pardp_lis::{parallel_lis, sequential_lis};
 use pardp_obst::{knuth_obst, parallel_obst};
 use pardp_parutils::{with_threads, Metrics};
-use pardp_treedp::{parallel_tree_glws_hld, sequential_tree_glws, CostShape, TreeGlwsInstance};
+use pardp_treedp::{parallel_tree_glws_auto, sequential_tree_glws, CostShape, TreeGlwsInstance};
 use pardp_workloads as workloads;
 use serde::Serialize;
 use std::time::Instant;
@@ -191,6 +191,14 @@ pub struct SpeedupRow {
     pub rounds: u64,
     /// Largest frontier over all rounds.
     pub max_frontier: u64,
+    /// Pool injector pushes during the parallel measurement (delta of the
+    /// rayon shim's process-global dispatch counters around the timed
+    /// region; 0 without the `threads` feature).  Optional for consumers —
+    /// added after the first `pardp-speedup-v1` documents were committed.
+    pub injector_pushes: u64,
+    /// Worker wakeups during the parallel measurement (same provenance and
+    /// caveats as `injector_pushes`).
+    pub wakeups: u64,
 }
 
 impl SpeedupRow {
@@ -225,6 +233,27 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     (best, out)
 }
 
+/// Run the parallel measurement pinned to `threads` threads, recording the
+/// rayon shim's process-global dispatch-counter deltas across the whole
+/// region (warmup and pool spin-up included: dispatch regressions there are
+/// regressions too).  Returns `(secs, result, injector pushes, wakeups)`.
+fn timed_parallel<R: Send>(
+    threads: usize,
+    reps: usize,
+    f: impl FnMut() -> R + Send,
+) -> (f64, R, u64, u64) {
+    let (pushes_before, wakeups_before) = rayon::dispatch_diagnostics();
+    let (secs, out) = with_threads(threads, || best_of(reps, f));
+    let (pushes_after, wakeups_after) = rayon::dispatch_diagnostics();
+    (
+        secs,
+        out,
+        pushes_after - pushes_before,
+        wakeups_after - wakeups_before,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn speedup_row(
     problem: &str,
     n: usize,
@@ -233,6 +262,7 @@ fn speedup_row(
     par_secs: f64,
     par: &Metrics,
     seq: &Metrics,
+    dispatch: (u64, u64),
 ) -> SpeedupRow {
     SpeedupRow {
         problem: problem.to_string(),
@@ -247,6 +277,8 @@ fn speedup_row(
         },
         rounds: par.rounds,
         max_frontier: par.max_frontier(),
+        injector_pushes: dispatch.0,
+        wakeups: dispatch.1,
     }
 }
 
@@ -269,7 +301,7 @@ pub fn run_speedup(quick: bool, threads: &[usize]) -> Vec<SpeedupRow> {
         let a = workloads::lis_with_length(n, 4, 7);
         let (seq_secs, seq) = best_of(reps, || sequential_lis(&a));
         for &t in threads {
-            let (par_secs, par) = with_threads(t, || best_of(reps, || parallel_lis(&a)));
+            let (par_secs, par, pushes, wakeups) = timed_parallel(t, reps, || parallel_lis(&a));
             assert_eq!(par.length, seq.length, "lis parallel/sequential disagree");
             rows.push(speedup_row(
                 "lis_shallow",
@@ -279,6 +311,7 @@ pub fn run_speedup(quick: bool, threads: &[usize]) -> Vec<SpeedupRow> {
                 par_secs,
                 &par.metrics,
                 &seq.metrics,
+                (pushes, wakeups),
             ));
         }
     }
@@ -291,7 +324,8 @@ pub fn run_speedup(quick: bool, threads: &[usize]) -> Vec<SpeedupRow> {
         let weights = workloads::positive_weights(n, 1_000, 11);
         let (seq_secs, seq) = best_of(reps, || knuth_obst(&weights));
         for &t in threads {
-            let (par_secs, par) = with_threads(t, || best_of(reps, || parallel_obst(&weights)));
+            let (par_secs, par, pushes, wakeups) =
+                timed_parallel(t, reps, || parallel_obst(&weights));
             assert_eq!(par.cost, seq.cost, "obst parallel/sequential disagree");
             rows.push(speedup_row(
                 "obst",
@@ -301,34 +335,57 @@ pub fn run_speedup(quick: bool, threads: &[usize]) -> Vec<SpeedupRow> {
                 par_secs,
                 &par.metrics,
                 &seq.metrics,
+                (pushes, wakeups),
             ));
         }
     }
 
-    // Tree-GLWS on a shallow balanced tree, using the work-efficient
-    // heavy-light algorithm (Theorem 5.3): envelope pushes and queries show
-    // up in the probe counters, so the reported work_ratio is the *real*
-    // parallel-vs-sequential work comparison, not the tautological 1.0 the
-    // naive ancestor-scan cordon produced.
-    {
-        let n = if quick { 20_000 } else { 200_000 };
-        let parent = workloads::balanced_tree(n, 8);
+    // Tree-GLWS through the shape-adaptive router (parallel_tree_glws_auto)
+    // on the three shapes that span its decision space: a shallow balanced
+    // tree (router picks the O(n·h) baseline cordon — the heavy-light
+    // envelope machinery can't pay for itself at avg depth ~log n), a path,
+    // and a caterpillar (router picks the Theorem 5.3 envelopes — the
+    // baseline is quadratic there).  The sequential baseline is the naive
+    // ancestor scan in all three rows, so par/seq on the deep shapes also
+    // captures the work-efficiency win, not just parallelism.
+    let tree_shapes: [(&str, Vec<usize>); 3] = if quick {
+        [
+            ("tree_glws_balanced", workloads::balanced_tree(20_000, 8)),
+            ("tree_glws_path", workloads::path_tree(2_000)),
+            (
+                "tree_glws_caterpillar",
+                workloads::caterpillar_tree(3_000, 1_500, 29),
+            ),
+        ]
+    } else {
+        [
+            ("tree_glws_balanced", workloads::balanced_tree(200_000, 8)),
+            ("tree_glws_path", workloads::path_tree(20_000)),
+            (
+                "tree_glws_caterpillar",
+                workloads::caterpillar_tree(30_000, 15_000, 29),
+            ),
+        ]
+    };
+    for (problem, parent) in tree_shapes {
+        let n = parent.len() - 1;
         let lens = workloads::tree_edge_lengths(n, 100, 13);
         let inst = TreeGlwsInstance::new(parent, &lens, 0, |du, dv| (dv - du) as i64, |d, _| d);
         let (seq_secs, seq) = best_of(reps, || sequential_tree_glws(&inst));
         for &t in threads {
-            let (par_secs, par) = with_threads(t, || {
-                best_of(reps, || parallel_tree_glws_hld(&inst, CostShape::Convex))
+            let (par_secs, par, pushes, wakeups) = timed_parallel(t, reps, || {
+                parallel_tree_glws_auto(&inst, CostShape::Convex)
             });
-            assert_eq!(par.d, seq.d, "tree-glws parallel/sequential disagree");
+            assert_eq!(par.d, seq.d, "{problem} parallel/sequential disagree");
             rows.push(speedup_row(
-                "tree_glws_balanced",
+                problem,
                 n,
                 t,
                 seq_secs,
                 par_secs,
                 &par.metrics,
                 &seq.metrics,
+                (pushes, wakeups),
             ));
         }
     }
@@ -343,7 +400,8 @@ pub fn run_speedup(quick: bool, threads: &[usize]) -> Vec<SpeedupRow> {
         let inst = convex_gap_instance(&a, &b, 3, 1, 1);
         let (seq_secs, seq) = best_of(reps, || sequential_gap(&inst));
         for &t in threads {
-            let (par_secs, par) = with_threads(t, || best_of(reps, || parallel_gap_packed(&inst)));
+            let (par_secs, par, pushes, wakeups) =
+                timed_parallel(t, reps, || parallel_gap_packed(&inst));
             assert_eq!(par.cost, seq.cost, "gap parallel/sequential disagree");
             rows.push(speedup_row(
                 "gap",
@@ -353,6 +411,7 @@ pub fn run_speedup(quick: bool, threads: &[usize]) -> Vec<SpeedupRow> {
                 par_secs,
                 &par.metrics,
                 &seq.metrics,
+                (pushes, wakeups),
             ));
         }
     }
@@ -372,7 +431,8 @@ pub fn speedup_rows_to_json(rows: &[SpeedupRow], quick: bool) -> String {
         s.push_str(&format!(
             "    {{\"problem\": \"{}\", \"n\": {}, \"threads\": {}, \"seq_secs\": {:.6}, \
              \"par_secs\": {:.6}, \"par_over_seq\": {:.4}, \"work_ratio\": {:.4}, \
-             \"rounds\": {}, \"max_frontier\": {}}}{}\n",
+             \"rounds\": {}, \"max_frontier\": {}, \"injector_pushes\": {}, \
+             \"wakeups\": {}}}{}\n",
             r.problem,
             r.n,
             r.threads,
@@ -382,6 +442,8 @@ pub fn speedup_rows_to_json(rows: &[SpeedupRow], quick: bool) -> String {
             r.work_ratio,
             r.rounds,
             r.max_frontier,
+            r.injector_pushes,
+            r.wakeups,
             if idx + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -393,7 +455,7 @@ pub fn speedup_rows_to_json(rows: &[SpeedupRow], quick: bool) -> String {
 pub fn print_speedup(rows: &[SpeedupRow]) {
     println!("# Speedup trajectory — parallel vs sequential wall clock by thread count");
     println!(
-        "{:>20} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12} {:>8} {:>12}",
+        "{:>22} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12} {:>8} {:>12} {:>10} {:>8}",
         "problem",
         "n",
         "threads",
@@ -402,11 +464,13 @@ pub fn print_speedup(rows: &[SpeedupRow]) {
         "par/seq",
         "work ratio",
         "rounds",
-        "max frontier"
+        "max frontier",
+        "inj push",
+        "wakeups"
     );
     for r in rows {
         println!(
-            "{:>20} {:>10} {:>8} {:>12.4} {:>12.4} {:>12.3} {:>12.3} {:>8} {:>12}",
+            "{:>22} {:>10} {:>8} {:>12.4} {:>12.4} {:>12.3} {:>12.3} {:>8} {:>12} {:>10} {:>8}",
             r.problem,
             r.n,
             r.threads,
@@ -415,7 +479,9 @@ pub fn print_speedup(rows: &[SpeedupRow]) {
             r.par_over_seq(),
             r.work_ratio,
             r.rounds,
-            r.max_frontier
+            r.max_frontier,
+            r.injector_pushes,
+            r.wakeups
         );
     }
 }

@@ -43,6 +43,7 @@ pub struct FrontierArena {
     current: Vec<usize>,
     next: Vec<usize>,
     values: Vec<i64>,
+    pairs: Vec<(u64, u64)>,
 }
 
 impl FrontierArena {
@@ -81,11 +82,21 @@ impl FrontierArena {
         &mut self.values
     }
 
+    /// Cleared `(u64, u64)` scratch row (capacity retained), for rounds that
+    /// stage two packed words per frontier element via `collect_into_vec` —
+    /// e.g. the HLD Tree-GLWS settle phase stages each node's prepared
+    /// envelope push here before committing them in order.
+    pub fn pairs_mut(&mut self) -> &mut Vec<(u64, u64)> {
+        self.pairs.clear();
+        &mut self.pairs
+    }
+
     /// Drop all contents but keep every buffer's capacity.
     pub fn clear(&mut self) {
         self.current.clear();
         self.next.clear();
         self.values.clear();
+        self.pairs.clear();
     }
 }
 
@@ -182,6 +193,66 @@ pub trait PhaseParallel {
     /// `None` disables the budget guard.
     fn round_budget(&self) -> Option<u64> {
         None
+    }
+}
+
+/// Run-time choice between two [`PhaseParallel`] implementations with the
+/// same output type, itself a [`PhaseParallel`] instance.
+///
+/// Routers that pick a cordon per instance — e.g. the shape-adaptive
+/// Tree-GLWS router, which probes the tree and chooses between the
+/// `O(n·h)` baseline cordon and the heavy-light envelope cordon — return
+/// this combinator so the choice stays a value the caller can hand to any
+/// driver (`run_phase_parallel`, the facade's `CordonSolver`, budget-guarded
+/// variants) without boxing or dynamic dispatch.
+#[derive(Debug)]
+pub enum EitherCordon<A, B> {
+    /// The first alternative.
+    First(A),
+    /// The second alternative.
+    Second(B),
+}
+
+impl<A, B> PhaseParallel for EitherCordon<A, B>
+where
+    A: PhaseParallel,
+    B: PhaseParallel<Output = A::Output>,
+{
+    type Output = A::Output;
+
+    fn is_done(&self) -> bool {
+        match self {
+            EitherCordon::First(a) => a.is_done(),
+            EitherCordon::Second(b) => b.is_done(),
+        }
+    }
+
+    fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        match self {
+            EitherCordon::First(a) => a.round(metrics),
+            EitherCordon::Second(b) => b.round(metrics),
+        }
+    }
+
+    fn round_with(&mut self, metrics: &MetricsCollector, arena: &mut FrontierArena) -> usize {
+        match self {
+            EitherCordon::First(a) => a.round_with(metrics, arena),
+            EitherCordon::Second(b) => b.round_with(metrics, arena),
+        }
+    }
+
+    fn finish(self) -> Self::Output {
+        match self {
+            EitherCordon::First(a) => a.finish(),
+            EitherCordon::Second(b) => b.finish(),
+        }
+    }
+
+    fn round_budget(&self) -> Option<u64> {
+        match self {
+            EitherCordon::First(a) => a.round_budget(),
+            EitherCordon::Second(b) => b.round_budget(),
+        }
     }
 }
 

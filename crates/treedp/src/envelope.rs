@@ -95,15 +95,15 @@ impl EnvelopeArena {
     /// that never happens.  The predicate is monotone by the shape contract,
     /// so a binary search suffices.  Returns the key and the number of
     /// cost-function evaluations spent.
-    fn takeover(
+    fn takeover<F: Fn(usize, u64) -> i64>(
         &self,
         g: usize,
         e: usize,
         x_lo: u64,
-        f: &mut dyn FnMut(usize, u64) -> i64,
+        f: &F,
     ) -> (u64, u64) {
         let mut evals = 0u64;
-        let mut pred = |x: u64, evals: &mut u64| {
+        let pred = |x: u64, evals: &mut u64| {
             *evals += 2;
             let (fg, fe) = (f(g, x), f(e, x));
             match self.shape {
@@ -130,20 +130,24 @@ impl EnvelopeArena {
         (hi, evals)
     }
 
-    /// Push tree node `g` (root distance `x_lo`) on top of the stack version
-    /// `top` (`NO_ENTRY` for an empty path), popping entries it supersedes in
-    /// every *future* version — old versions keep pointing at them.  `f(u, x)`
-    /// must evaluate candidate `u`'s function at query distance `x`.
+    /// Read-only half of a push: walk down from stack version `top`
+    /// (`NO_ENTRY` for an empty path) past every entry that node `g` (root
+    /// distance `x_lo`) supersedes, and compute `g`'s takeover key against the
+    /// first survivor.  `f(u, x)` must evaluate candidate `u`'s function at
+    /// query distance `x`.
     ///
-    /// Returns the new entry (= the version for this path position) and the
-    /// number of cost-function evaluations spent.
-    pub(crate) fn push(
-        &mut self,
+    /// Returns `(below, key, evals)`: the surviving entry `g` will sit on,
+    /// its takeover key, and the number of cost-function evaluations spent.
+    /// Because nothing is mutated, prepares for nodes on *distinct* heavy
+    /// paths may run concurrently; [`EnvelopeArena::commit_push`] then appends
+    /// the entries in any fixed order.
+    pub(crate) fn prepare_push<F: Fn(usize, u64) -> i64>(
+        &self,
         mut top: u32,
         g: usize,
         x_lo: u64,
-        f: &mut dyn FnMut(usize, u64) -> i64,
-    ) -> (u32, u64) {
+        f: &F,
+    ) -> (u32, u64, u64) {
         let mut evals = 0u64;
         let key = loop {
             if top == NO_ENTRY {
@@ -168,10 +172,18 @@ impl EnvelopeArena {
                 break k;
             }
         };
+        (top, key, evals)
+    }
+
+    /// Mutating half of a push: append the entry a
+    /// [`EnvelopeArena::prepare_push`] computed — node `g` with takeover `key`
+    /// sitting on `below` — and build its lifting row.  Returns the new entry
+    /// (= the version for this path position).
+    pub(crate) fn commit_push(&mut self, below: u32, g: usize, key: u64) -> u32 {
         let idx = self.node.len() as u32;
         self.node.push(g as u32);
         self.key.push(key);
-        self.jump.push(top);
+        self.jump.push(below);
         for j in 1..self.log {
             let a = self.jump[idx as usize * self.log + j - 1];
             let next = if a == NO_ENTRY {
@@ -181,7 +193,27 @@ impl EnvelopeArena {
             };
             self.jump.push(next);
         }
-        (idx, evals)
+        idx
+    }
+
+    /// Push tree node `g` (root distance `x_lo`) on top of the stack version
+    /// `top` (`NO_ENTRY` for an empty path), popping entries it supersedes in
+    /// every *future* version — old versions keep pointing at them.  `f(u, x)`
+    /// must evaluate candidate `u`'s function at query distance `x`.
+    ///
+    /// Returns the new entry (= the version for this path position) and the
+    /// number of cost-function evaluations spent.  Exactly
+    /// [`EnvelopeArena::prepare_push`] followed by
+    /// [`EnvelopeArena::commit_push`].
+    pub(crate) fn push<F: Fn(usize, u64) -> i64>(
+        &mut self,
+        top: u32,
+        g: usize,
+        x_lo: u64,
+        f: &F,
+    ) -> (u32, u64) {
+        let (below, key, evals) = self.prepare_push(top, g, x_lo, f);
+        (self.commit_push(below, g, key), evals)
     }
 
     /// Best candidate at query distance `x` among the path positions covered
@@ -239,8 +271,8 @@ mod tests {
         for u in 0..40usize {
             cands.push((u, es[u], dists[u]));
             let local = cands.clone();
-            let mut f = |g: usize, x: u64| local[g].1 + w(local[g].2, x);
-            let (e, _) = arena.push(top, u, dists[u], &mut f);
+            let f = |g: usize, x: u64| local[g].1 + w(local[g].2, x);
+            let (e, _) = arena.push(top, u, dists[u], &f);
             top = e;
             versions.push(e);
             // Every prefix version must agree with brute force on all query
@@ -280,8 +312,8 @@ mod tests {
         let mut arena = EnvelopeArena::new(8, 8, 100, CostShape::Convex);
         let mut top = NO_ENTRY;
         for u in 0..8usize {
-            let mut f = |g: usize, x: u64| (x - 5 * g as u64) as i64;
-            let (e, _) = arena.push(top, u, 5 * u as u64, &mut f);
+            let f = |g: usize, x: u64| (x - 5 * g as u64) as i64;
+            let (e, _) = arena.push(top, u, 5 * u as u64, &f);
             top = e;
         }
         // query() takes no cost closure at all: the type system enforces it.

@@ -26,7 +26,15 @@
 //!   round's work is proportional to its frontier size (times polylog).  The
 //!   transition cost must be convex or concave along root paths (declared via
 //!   [`CostShape`]); the baseline cordon is kept as the shape-oblivious
-//!   oracle and the ablation partner.
+//!   oracle and the ablation partner,
+//! * [`parallel_tree_glws_auto`] — the **shape-adaptive router**: an `O(n)`
+//!   [`hld::TreeShapeStats`] probe compares the tree's average ancestor-chain
+//!   length against the envelope machinery's polylog per-node estimate and
+//!   runs whichever cordon is predicted cheaper
+//!   ([`choose_tree_glws_strategy`]).  Deep shapes (paths, caterpillars) get
+//!   the work-efficient envelopes; shallow bushy shapes skip the `O(log² n)`
+//!   constant entirely.  Both alternatives produce identical results, so the
+//!   choice is invisible except in wall clock and work counters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,8 +44,8 @@ pub mod hld;
 mod envelope;
 
 use envelope::{EnvelopeArena, NO_ENTRY};
-use hld::HeavyLightDecomposition;
-use pardp_core::{run_phase_parallel, PhaseParallel};
+use hld::{HeavyLightDecomposition, TreeShapeStats};
+use pardp_core::{run_phase_parallel, EitherCordon, FrontierArena, PhaseParallel};
 use pardp_parutils::{round_min_grain, Metrics, MetricsCollector};
 use rayon::prelude::*;
 
@@ -212,21 +220,171 @@ where
     }
 }
 
-/// Group the non-root nodes by depth (`levels[t]` holds the depth `t + 1`
-/// nodes; depths are contiguous so no level is empty).
-fn depth_levels(parent: &[usize]) -> (Vec<Vec<usize>>, Vec<usize>) {
-    let n = parent.len() - 1;
-    let mut depth = vec![0usize; n + 1];
-    let mut max_depth = 0;
-    for v in 1..=n {
-        depth[v] = depth[parent[v]] + 1;
-        max_depth = max_depth.max(depth[v]);
+/// Which Tree-GLWS cordon the shape-adaptive router picked for an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeGlwsStrategy {
+    /// The `O(n·h)` ancestor-rescan cordon ([`TreeGlwsCordon`]) — cheapest on
+    /// shallow or bushy trees, where the average ancestor chain is shorter
+    /// than the envelope machinery's polylog per-node cost.
+    Baseline,
+    /// The heavy-light envelope cordon ([`HldTreeGlwsCordon`], Theorem 5.3) —
+    /// pays off once chains are deep (paths, caterpillars, biased trees).
+    Hld,
+}
+
+/// Pick the cheaper Tree-GLWS cordon from an `O(n)` shape probe.
+///
+/// The baseline rescans exactly `avg_depth` ancestors per node; the HLD
+/// cordon spends `O(log n)` segment queries, each an `O(log h)` binary-lifted
+/// descent, plus takeover binary searches per settled node.  We estimate the
+/// envelope cost as `log2(n) · log2(h)` per node and route to HLD only when
+/// the measured average chain length exceeds it — so shallow balanced or
+/// random-attachment trees (avg depth `O(log n)`) keep the baseline, while
+/// paths and caterpillars (avg depth `Θ(n)`) get the work-efficient cordon.
+/// The constants cancel well in practice: on the benchmark's balanced 8-ary
+/// tree the estimate is ≈ 9× the average depth, on a path it is ≈ 1% of it.
+pub fn choose_tree_glws_strategy(stats: &TreeShapeStats) -> TreeGlwsStrategy {
+    route_by_depth(stats.n, stats.height, stats.avg_depth())
+}
+
+/// The router's actual decision rule.  It consults only the depth profile —
+/// node count, height, average depth — so the hot path
+/// ([`tree_glws_cordon_auto`]) can feed it from a single-pass scan instead of
+/// the full [`TreeShapeStats`] probe (whose heavy-path statistics are
+/// diagnostics, not routing inputs).
+fn route_by_depth(n: usize, height: usize, avg_depth: f64) -> TreeGlwsStrategy {
+    let estimate = ((n as f64 + 2.0).log2()) * ((height as f64 + 2.0).log2());
+    if avg_depth > estimate {
+        TreeGlwsStrategy::Hld
+    } else {
+        TreeGlwsStrategy::Baseline
     }
-    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth];
-    for v in 1..=n {
-        levels[depth[v] - 1].push(v);
+}
+
+/// Single-pass depth profile of a `parent` array: everything
+/// [`route_by_depth`] needs plus the per-node depths themselves, so the
+/// routed constructor can hand the buffer straight to [`TreeGlwsCordon`]
+/// instead of recomputing it (the probe + level build would otherwise be the
+/// dominant cost of a shallow-tree solve).
+struct DepthProfile {
+    /// `depth[v]` = edge depth of node `v` (`depth[0] == 0`).
+    depth: Vec<u32>,
+    /// `counts[t]` = number of nodes at depth `t` (`counts[0] == 0`:
+    /// the root is not a DP state).
+    counts: Vec<usize>,
+    /// Maximum entry of `depth`.
+    height: usize,
+    /// Sum over non-root nodes — the baseline cordon's exact probe count.
+    total_depth: u64,
+    /// True when `depth` is nondecreasing in node index — BFS-style
+    /// numberings (paths, stars, balanced trees) — so the depth-sorted node
+    /// order is simply `1..=n` and no permutation needs materializing.
+    sorted: bool,
+}
+
+impl DepthProfile {
+    fn new(parent: &[usize]) -> Self {
+        let n = parent.len() - 1;
+        let mut depth = vec![0u32; n + 1];
+        let mut counts = vec![0usize; 1];
+        let mut height = 0u32;
+        let mut total_depth = 0u64;
+        let mut sorted = true;
+        let mut prev = 0u32;
+        for v in 1..=n {
+            let dv = depth[parent[v]] + 1;
+            depth[v] = dv;
+            if dv > height {
+                height = dv;
+                counts.resize(height as usize + 1, 0);
+            }
+            counts[dv as usize] += 1;
+            total_depth += dv as u64;
+            sorted &= dv >= prev;
+            prev = dv;
+        }
+        DepthProfile {
+            depth,
+            counts,
+            height: height as usize,
+            total_depth,
+            sorted,
+        }
     }
-    (levels, depth)
+
+    fn avg_depth(&self) -> f64 {
+        let n = self.depth.len() - 1;
+        if n == 0 {
+            0.0
+        } else {
+            self.total_depth as f64 / n as f64
+        }
+    }
+}
+
+/// Build the cordon [`choose_tree_glws_strategy`] selects for `inst`, as an
+/// [`EitherCordon`] value any phase-parallel driver (including the facade's
+/// `CordonSolver`) can run directly.  `shape` is only consulted when the HLD
+/// cordon is chosen; both alternatives produce identical `(d, best)` outputs
+/// and identical depth-level frontiers.
+pub fn tree_glws_cordon_auto<'a, W, E>(
+    inst: &'a TreeGlwsInstance<W, E>,
+    shape: CostShape,
+) -> EitherCordon<TreeGlwsCordon<'a, W, E>, HldTreeGlwsCordon<'a, W, E>>
+where
+    W: Fn(u64, u64) -> i64 + Sync,
+    E: Fn(i64, usize) -> i64 + Sync,
+{
+    let prof = DepthProfile::new(&inst.parent);
+    match route_by_depth(inst.n(), prof.height, prof.avg_depth()) {
+        TreeGlwsStrategy::Baseline => EitherCordon::First(TreeGlwsCordon::from_profile(inst, prof)),
+        TreeGlwsStrategy::Hld => EitherCordon::Second(HldTreeGlwsCordon::new(inst, shape)),
+    }
+}
+
+/// Shape-adaptive parallel evaluation: probe the tree with
+/// [`TreeShapeStats`], then run whichever of [`parallel_tree_glws`] /
+/// [`parallel_tree_glws_hld`] the probe predicts is cheaper on this instance.
+pub fn parallel_tree_glws_auto<W, E>(
+    inst: &TreeGlwsInstance<W, E>,
+    shape: CostShape,
+) -> TreeGlwsResult
+where
+    W: Fn(u64, u64) -> i64 + Sync,
+    E: Fn(i64, usize) -> i64 + Sync,
+{
+    let metrics = MetricsCollector::new();
+    let (d, best) = run_phase_parallel(tree_glws_cordon_auto(inst, shape), &metrics);
+    TreeGlwsResult {
+        d,
+        best,
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// Counting-sort the non-root nodes by depth into one flat CSR buffer:
+/// `order[offsets[t]..offsets[t + 1]]` holds the depth `t + 1` nodes in node
+/// order (depths are contiguous so no level is empty).  One flat allocation
+/// instead of a `Vec<Vec<_>>` whose widest level reallocates while filling.
+fn depth_order(prof: DepthProfile) -> (Option<Vec<u32>>, Vec<usize>) {
+    let n = prof.depth.len() - 1;
+    let mut offsets = prof.counts;
+    for t in 1..offsets.len() {
+        offsets[t] += offsets[t - 1];
+    }
+    if prof.sorted {
+        // Depth already nondecreasing in node index: the sorted order is the
+        // identity, level `t` is simply nodes `offsets[t] + 1 ..= offsets[t + 1]`.
+        return (None, offsets);
+    }
+    let mut cursor = offsets.clone();
+    let mut order = vec![0u32; n];
+    for v in 1..=n {
+        let c = &mut cursor[prof.depth[v] as usize - 1];
+        order[*c] = v as u32;
+        *c += 1;
+    }
+    (Some(order), offsets)
 }
 
 /// [`PhaseParallel`] instance for Tree-GLWS: frontiers are the tree's depth
@@ -234,15 +392,17 @@ fn depth_levels(parent: &[usize]) -> (Vec<Vec<usize>>, Vec<usize>) {
 /// frontiers), each evaluated in parallel.
 pub struct TreeGlwsCordon<'a, W, E> {
     inst: &'a TreeGlwsInstance<W, E>,
-    /// Nodes grouped by depth, `levels[0]` holding depth-1 nodes; depths are
-    /// contiguous so no level is empty.
-    levels: Vec<Vec<usize>>,
-    depth: Vec<usize>,
+    /// Non-root nodes counting-sorted by depth (`None` when node index order
+    /// is already depth-sorted — the identity permutation); see
+    /// [`depth_order`].
+    order: Option<Vec<u32>>,
+    /// `order[offsets[t]..offsets[t + 1]]` is the depth `t + 1` level.
+    offsets: Vec<usize>,
     next_level: usize,
     d: Vec<i64>,
     best: Vec<usize>,
     /// Reused per-round result buffer (grown once to the widest level).
-    scratch: Vec<(usize, i64, usize)>,
+    scratch: Vec<(i64, usize)>,
 }
 
 impl<'a, W, E> TreeGlwsCordon<'a, W, E>
@@ -252,20 +412,52 @@ where
 {
     /// Group the nodes by depth and initialize the DP arrays.
     pub fn new(inst: &'a TreeGlwsInstance<W, E>) -> Self {
+        Self::from_profile(inst, DepthProfile::new(&inst.parent))
+    }
+
+    /// [`TreeGlwsCordon::new`] with an already-computed depth profile, so the
+    /// shape router's probe pass is not repeated by the constructor.
+    fn from_profile(inst: &'a TreeGlwsInstance<W, E>, prof: DepthProfile) -> Self {
         let n = inst.n();
         let mut d = vec![0i64; n + 1];
         d[0] = inst.d0;
-        let (levels, depth) = depth_levels(&inst.parent);
+        let (order, offsets) = depth_order(prof);
         TreeGlwsCordon {
             inst,
-            levels,
-            depth,
+            order,
+            offsets,
             next_level: 0,
             d,
             best: vec![0usize; n + 1],
             scratch: Vec::new(),
         }
     }
+}
+
+/// The baseline relaxation of one node: scan every proper ancestor of `v` and
+/// keep the best decision.  Shared by the parallel round and its sub-grain
+/// inline fast path so both compute bit-identical `(value, decision)` pairs.
+#[inline]
+fn relax_ancestors<W, E>(inst: &TreeGlwsInstance<W, E>, d: &[i64], v: usize) -> (i64, usize)
+where
+    W: Fn(u64, u64) -> i64 + Sync,
+    E: Fn(i64, usize) -> i64 + Sync,
+{
+    let mut u = inst.parent[v];
+    let mut bv = i64::MAX;
+    let mut bu = 0usize;
+    loop {
+        let cand = inst.value_via(d[u], u, v);
+        if cand < bv {
+            bv = cand;
+            bu = u;
+        }
+        if u == 0 {
+            break;
+        }
+        u = inst.parent[u];
+    }
+    (bv, bu)
 }
 
 impl<W, E> PhaseParallel for TreeGlwsCordon<'_, W, E>
@@ -277,44 +469,60 @@ where
     type Output = (Vec<i64>, Vec<usize>);
 
     fn is_done(&self) -> bool {
-        self.next_level >= self.levels.len()
+        self.next_level + 1 >= self.offsets.len()
     }
 
     fn round(&mut self, metrics: &MetricsCollector) -> usize {
         let inst = self.inst;
-        let level = &self.levels[self.next_level];
-        let d_ref = &self.d;
-        // Reuse the round scratch: `collect_into_vec` refills the buffer in
-        // place, so after the widest level no round allocates.
-        let mut results = std::mem::take(&mut self.scratch);
-        level
-            .par_iter()
-            .map(|&v| {
-                let mut u = inst.parent[v];
-                let mut bv = i64::MAX;
-                let mut bu = 0usize;
-                loop {
-                    let cand = inst.value_via(d_ref[u], u, v);
-                    if cand < bv {
-                        bv = cand;
-                        bu = u;
-                    }
-                    if u == 0 {
-                        break;
-                    }
-                    u = inst.parent[u];
-                }
-                (v, bv, bu)
-            })
-            .with_min_len(round_min_grain(level.len()))
-            .collect_into_vec(&mut results);
-        metrics.add_edges(results.iter().map(|&(v, _, _)| self.depth[v] as u64).sum());
-        let size = level.len();
-        for &(v, bv, bu) in &results {
-            self.d[v] = bv;
-            self.best[v] = bu;
+        let (lo, hi) = (
+            self.offsets[self.next_level],
+            self.offsets[self.next_level + 1],
+        );
+        let size = hi - lo;
+        // Every node in a level sits at the same depth, so the level's
+        // ancestor-probe count is `size × depth` — no per-node pass needed.
+        metrics.add_edges(size as u64 * (self.next_level as u64 + 1));
+        if round_min_grain(size) >= size {
+            // Sub-grain fast path: the grain policy keeps this round inline
+            // anyway, so skip the tuple staging and write results directly —
+            // node values only read strictly shallower (already-settled)
+            // entries of `d`, never this level's.
+            for i in lo..hi {
+                let v = match &self.order {
+                    Some(order) => order[i] as usize,
+                    None => i + 1,
+                };
+                let (bv, bu) = relax_ancestors(inst, &self.d, v);
+                self.d[v] = bv;
+                self.best[v] = bu;
+            }
+        } else {
+            let d_ref = &self.d;
+            // Reuse the round scratch: `collect_into_vec` refills the buffer
+            // in place, so after the widest level no round allocates.
+            let mut results = std::mem::take(&mut self.scratch);
+            match &self.order {
+                Some(order) => order[lo..hi]
+                    .par_iter()
+                    .map(|&v| relax_ancestors(inst, d_ref, v as usize))
+                    .with_min_len(round_min_grain(size))
+                    .collect_into_vec(&mut results),
+                None => (lo..hi)
+                    .into_par_iter()
+                    .map(|i| relax_ancestors(inst, d_ref, i + 1))
+                    .with_min_len(round_min_grain(size))
+                    .collect_into_vec(&mut results),
+            }
+            for (i, &(bv, bu)) in results.iter().enumerate() {
+                let v = match &self.order {
+                    Some(order) => order[lo + i] as usize,
+                    None => lo + i + 1,
+                };
+                self.d[v] = bv;
+                self.best[v] = bu;
+            }
+            self.scratch = results;
         }
-        self.scratch = results;
         self.next_level += 1;
         size
     }
@@ -325,7 +533,7 @@ where
 
     fn round_budget(&self) -> Option<u64> {
         // One round per depth level: the tree height.
-        Some(self.levels.len() as u64)
+        Some((self.offsets.len() - 1) as u64)
     }
 }
 
@@ -389,8 +597,8 @@ where
         let mut tops = vec![NO_ENTRY; n + 1];
         let mut version = vec![NO_ENTRY; n + 1];
         // The root is settled from the start: it seeds its path's envelope.
-        let mut f = |u: usize, x: u64| (inst.e)(d[u], u) + (inst.w)(inst.dist[u], x);
-        let (root_entry, _) = arena.push(NO_ENTRY, 0, inst.dist[0], &mut f);
+        let f = |u: usize, x: u64| (inst.e)(d[u], u) + (inst.w)(inst.dist[u], x);
+        let (root_entry, _) = arena.push(NO_ENTRY, 0, inst.dist[0], &f);
         tops[0] = root_entry;
         version[0] = root_entry;
         HldTreeGlwsCordon {
@@ -427,6 +635,13 @@ where
     }
 
     fn round(&mut self, metrics: &MetricsCollector) -> usize {
+        // Delegate through `round_with` so both driver entry points share one
+        // round body; a caller-less arena only costs its first-use growth.
+        let mut arena = FrontierArena::new();
+        self.round_with(metrics, &mut arena)
+    }
+
+    fn round_with(&mut self, metrics: &MetricsCollector, frontier: &mut FrontierArena) -> usize {
         let inst = self.inst;
         let level = &self.levels[self.next_level];
         let (arena, hld, d_ref, version) = (&self.arena, &self.hld, &self.d, &self.version);
@@ -466,17 +681,36 @@ where
             probes += p;
             edges += e;
         }
-        // Settle phase: push the finalized nodes onto their paths' envelopes
-        // (at most one node per path per round — a heavy path has one node
-        // per depth — so the push order within the round is irrelevant).
-        let (arena, d_ref) = (&mut self.arena, &self.d);
-        let mut f = |u: usize, x: u64| (inst.e)(d_ref[u], u) + (inst.w)(inst.dist[u], x);
-        for &(v, ..) in &results {
+        // Settle phase, prepare half (parallel): a heavy path holds at most
+        // one node per depth, so the round's settled nodes lie on pairwise
+        // distinct heavy paths and every `tops[head]` read here is stable for
+        // the whole round — each prepare computes exactly the pops and
+        // takeover key the sequential push loop would have, independently of
+        // the others.  The prepared pushes are staged in the driver arena's
+        // pair buffer, `(below | evals, key)` packed per node.
+        let (arena, hld, d_ref, tops) = (&self.arena, &self.hld, &self.d, &self.tops);
+        let f = |u: usize, x: u64| (inst.e)(d_ref[u], u) + (inst.w)(inst.dist[u], x);
+        let preps = frontier.pairs_mut();
+        results
+            .par_iter()
+            .map(|&(v, ..)| {
+                let (below, key, evals) =
+                    arena.prepare_push(tops[hld.head[v]], v, inst.dist[v], &f);
+                debug_assert!(evals < 1 << 32, "eval count must fit the packed word");
+                (((below as u64) << 32) | evals, key)
+            })
+            .with_min_len(round_min_grain(results.len()))
+            .collect_into_vec(preps);
+        // Commit half (sequential, in level order): appending the prepared
+        // entries in the same fixed order the sequential loop used yields a
+        // bit-identical arena layout at O(log) words per node, so results are
+        // deterministic at any thread count.
+        for (&(v, ..), &(packed, key)) in results.iter().zip(preps.iter()) {
+            let entry = self.arena.commit_push((packed >> 32) as u32, v, key);
             let h = self.hld.head[v];
-            let (entry, evals) = arena.push(self.tops[h], v, inst.dist[v], &mut f);
             self.tops[h] = entry;
             self.version[v] = entry;
-            edges += evals;
+            edges += packed & 0xFFFF_FFFF;
         }
         metrics.add_edges(edges);
         metrics.add_probes(probes);
@@ -687,6 +921,66 @@ mod tests {
         let r = parallel_tree_glws_hld(&empty, CostShape::Convex);
         assert_eq!(r.d, vec![3]);
         assert_eq!(r.metrics.rounds, 0);
+    }
+
+    // -- the shape-adaptive router ----------------------------------------
+
+    #[test]
+    fn router_picks_hld_on_deep_and_baseline_on_shallow_shapes() {
+        let n = 5_000usize;
+        let path: Vec<usize> = (0..=n).map(|v| v.saturating_sub(1)).collect();
+        assert_eq!(
+            choose_tree_glws_strategy(&TreeShapeStats::new(&path)),
+            TreeGlwsStrategy::Hld,
+            "a path's avg depth is Θ(n)"
+        );
+        let star = vec![0usize; n + 1];
+        assert_eq!(
+            choose_tree_glws_strategy(&TreeShapeStats::new(&star)),
+            TreeGlwsStrategy::Baseline,
+            "a star has depth 1 everywhere — envelopes can never pay"
+        );
+        let balanced: Vec<usize> = (0..=n).map(|v| v.saturating_sub(1) / 8).collect();
+        assert_eq!(
+            choose_tree_glws_strategy(&TreeShapeStats::new(&balanced)),
+            TreeGlwsStrategy::Baseline,
+            "an 8-ary balanced tree has avg depth O(log n)"
+        );
+        // Caterpillar: spine of n/2 plus legs — deep on average.
+        let cat: Vec<usize> = (0..=n)
+            .map(|v| {
+                if v <= n / 2 {
+                    v.saturating_sub(1)
+                } else {
+                    (v * 7 + 3) % (n / 2)
+                }
+            })
+            .collect();
+        assert_eq!(
+            choose_tree_glws_strategy(&TreeShapeStats::new(&cat)),
+            TreeGlwsStrategy::Hld,
+            "a caterpillar's avg depth is Θ(spine)"
+        );
+    }
+
+    #[test]
+    fn auto_router_matches_naive_and_reports_identical_frontiers() {
+        for seed in 0..4 {
+            for &bias in &[0u64, 40, 100] {
+                let (parent, lens) = random_tree(300, bias, seed);
+                let inst =
+                    TreeGlwsInstance::new(parent, &lens, 5, convex_w, |d, u| d + (u % 3) as i64);
+                let want = naive_tree_glws(&inst);
+                let base = parallel_tree_glws(&inst);
+                let auto = parallel_tree_glws_auto(&inst, CostShape::Convex);
+                assert_eq!(auto.d, want.d, "seed {seed} bias {bias}");
+                assert_eq!(auto.best, want.best, "seed {seed} bias {bias}");
+                assert_eq!(
+                    auto.metrics.frontier_sizes, base.metrics.frontier_sizes,
+                    "seed {seed} bias {bias}: both cordons use depth frontiers"
+                );
+            }
+        }
     }
 
     #[test]

@@ -68,7 +68,9 @@ pub use pardp_workloads as workloads;
 ///
 /// The same call shape works for `LcsCordon`, `ConvexGlwsCordon`,
 /// `ConcaveGlwsCordon`, `KGlwsCordon`, `GapCordon`, `TreeGlwsCordon`,
-/// `HldTreeGlwsCordon` and `ObstCordon`.
+/// `HldTreeGlwsCordon`, `ObstCordon` — and for router-produced
+/// `EitherCordon` values such as `tree_glws_cordon_auto`'s, which picks the
+/// cheaper Tree-GLWS cordon per instance from an O(n) shape probe.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CordonSolver {
     round_budget: Option<u64>,
@@ -131,7 +133,7 @@ pub mod prelude {
     pub use crate::{CordonOutcome, CordonSolver};
     pub use pardp_core::{
         prefix_doubling_cordon, run_phase_parallel, try_run_phase_parallel,
-        try_run_phase_parallel_with_budget, PhaseParallel, StallError,
+        try_run_phase_parallel_with_budget, EitherCordon, PhaseParallel, StallError,
     };
     pub use pardp_gap::{
         convex_gap_instance, naive_gap, parallel_gap, sequential_gap, GapCordon, GapInstance,
@@ -152,8 +154,11 @@ pub mod prelude {
     pub use pardp_parutils::{with_threads, Metrics, MetricsCollector};
     pub use pardp_tournament::{TieRule, TournamentTree};
     pub use pardp_treedp::{
-        hld::HeavyLightDecomposition, naive_tree_glws, parallel_tree_glws, parallel_tree_glws_hld,
-        sequential_tree_glws, CostShape, HldTreeGlwsCordon, TreeGlwsCordon, TreeGlwsInstance,
+        choose_tree_glws_strategy,
+        hld::{HeavyLightDecomposition, TreeShapeStats},
+        naive_tree_glws, parallel_tree_glws, parallel_tree_glws_auto, parallel_tree_glws_hld,
+        sequential_tree_glws, tree_glws_cordon_auto, CostShape, HldTreeGlwsCordon, TreeGlwsCordon,
+        TreeGlwsInstance, TreeGlwsStrategy,
     };
     pub use pardp_workloads as workloads;
 }

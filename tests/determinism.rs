@@ -81,6 +81,66 @@ fn packed_gap_results_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn packed_gap_is_bit_identical_across_speculative_block_counts() {
+    // The block-parallel speculative sweep must be invisible: any forced
+    // block count (1 = pure sequential sweep, n = one row per block) at any
+    // thread count reproduces the auto-blocked run bit for bit — same grid,
+    // same round schedule (rounds == effective depth, pinned in the gap
+    // crate's unit tests), same frontier sizes.
+    let (a, b) = workloads::gap_strings(220, 180, 4, 5);
+    let inst = parallel_dp::gap::convex_gap_instance(&a, &b, 3, 1, 1);
+    let baseline = with_threads(1, || parallel_dp::gap::parallel_gap_packed(&inst));
+    for t in THREAD_COUNTS {
+        for blocks in [1usize, 2, 8, usize::MAX] {
+            let run = with_threads(t, || {
+                parallel_dp::gap::parallel_gap_packed_with_blocks(&inst, blocks)
+            });
+            assert_eq!(
+                run.d, baseline.d,
+                "packed GAP grid differs at {t} threads, {blocks} blocks"
+            );
+            assert_eq!(run.cost, baseline.cost);
+            assert_eq!(
+                run.metrics.rounds, baseline.metrics.rounds,
+                "round count differs at {t} threads, {blocks} blocks"
+            );
+            assert_eq!(
+                run.metrics.frontier_sizes, baseline.metrics.frontier_sizes,
+                "round schedule differs at {t} threads, {blocks} blocks"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_routed_tree_glws_is_bit_identical_across_thread_counts() {
+    use parallel_dp::treedp::parallel_tree_glws_auto;
+    // One shape per router outcome: deep (HLD cordon) and shallow (baseline).
+    let deep = workloads::caterpillar_tree(4_000, 2_000, 21);
+    let shallow = workloads::balanced_tree(4_000, 8);
+    for (name, parent) in [("caterpillar", deep), ("balanced", shallow)] {
+        let n = parent.len() - 1;
+        let lens = workloads::tree_edge_lengths(n, 50, 10);
+        let inst = TreeGlwsInstance::new(parent, &lens, 0, |du, dv| (dv - du) as i64, |d, _| d);
+        let baseline = with_threads(1, || parallel_tree_glws_auto(&inst, CostShape::Convex));
+        for t in THREAD_COUNTS {
+            let run = with_threads(t, || parallel_tree_glws_auto(&inst, CostShape::Convex));
+            assert_eq!(run.d, baseline.d, "{name}: d[] differs at {t} threads");
+            assert_eq!(
+                run.best, baseline.best,
+                "{name}: decisions differ at {t} threads"
+            );
+            assert_eq!(
+                run.metrics.frontier_sizes, baseline.metrics.frontier_sizes,
+                "{name}: round schedule differs at {t} threads"
+            );
+        }
+        let seq = sequential_tree_glws(&inst);
+        assert_eq!(baseline.d, seq.d, "{name}: auto router disagrees with seq");
+    }
+}
+
+#[test]
 fn hld_tree_glws_results_are_bit_identical_across_thread_counts() {
     let n = 8_000;
     let parent = workloads::random_tree(n, 3, 9);

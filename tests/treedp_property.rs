@@ -67,6 +67,16 @@ where
         hld.metrics.frontier_sizes, baseline.metrics.frontier_sizes,
         "{name}: identical depth frontiers"
     );
+    // Shape-router property: whichever cordon the probe picks for this shape,
+    // the routed run is indistinguishable from both alternatives on (d, best)
+    // and on the round schedule — routing may only change wall clock/work.
+    let auto = parallel_tree_glws_auto(&inst, shape);
+    assert_eq!(auto.d, naive.d, "{name}: routed values vs naive");
+    assert_eq!(auto.best, naive.best, "{name}: routed decisions vs naive");
+    assert_eq!(
+        auto.metrics.frontier_sizes, baseline.metrics.frontier_sizes,
+        "{name}: routed run keeps the depth frontiers"
+    );
 }
 
 #[test]
@@ -175,6 +185,42 @@ fn hld_cordon_trips_the_typed_stall_guard() {
     let run = CordonSolver::with_round_budget(height as u64)
         .run(HldTreeGlwsCordon::new(&inst, CostShape::Convex));
     assert_eq!(run.metrics.rounds as usize, height);
+}
+
+/// The shape probe's routing decisions on the unambiguous generator shapes,
+/// plus the facade solver driving a router-produced `EitherCordon` directly —
+/// the integration path `CordonSolver::run(tree_glws_cordon_auto(..))`.
+#[test]
+fn shape_router_decisions_and_solver_integration() {
+    let n = 220usize;
+    assert_eq!(
+        choose_tree_glws_strategy(&TreeShapeStats::new(&workloads::path_tree(n))),
+        TreeGlwsStrategy::Hld,
+        "a path must route to the work-efficient cordon"
+    );
+    assert_eq!(
+        choose_tree_glws_strategy(&TreeShapeStats::new(&workloads::star_tree(n))),
+        TreeGlwsStrategy::Baseline,
+        "a star must route to the ancestor-rescan cordon"
+    );
+    assert_eq!(
+        choose_tree_glws_strategy(&TreeShapeStats::new(&workloads::balanced_tree(n, 3))),
+        TreeGlwsStrategy::Baseline,
+        "a balanced tree must route to the ancestor-rescan cordon"
+    );
+
+    // Both router outcomes through the facade solver, checked against naive.
+    for parent in [workloads::path_tree(n), workloads::balanced_tree(n, 3)] {
+        let lens = workloads::tree_edge_lengths(n, 4, 77);
+        let height = tree_height(&parent);
+        let inst = TreeGlwsInstance::new(parent, &lens, 3, convex_w, |d, _| d);
+        let naive = naive_tree_glws(&inst);
+        let run = CordonSolver::new().run(tree_glws_cordon_auto(&inst, CostShape::Convex));
+        let (d, best) = run.output;
+        assert_eq!(d, naive.d, "solver-driven routed cordon: values");
+        assert_eq!(best, naive.best, "solver-driven routed cordon: decisions");
+        assert_eq!(run.metrics.rounds as usize, height, "rounds == height");
+    }
 }
 
 /// Heavier cross-shape stress at sizes where the baseline's O(n·h) is already
