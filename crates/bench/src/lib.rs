@@ -13,6 +13,7 @@ use pardp_gap::{convex_gap_instance, parallel_gap_packed, sequential_gap};
 use pardp_glws::{parallel_convex_glws, sequential_convex_glws, GlwsProblem, PostOfficeProblem};
 use pardp_lcs::{parallel_sparse_lcs, sequential_sparse_lcs, MatchPair};
 use pardp_lis::{parallel_lis, sequential_lis};
+use pardp_oat::{garsia_wachs, parallel_oat, parallel_oat_valley};
 use pardp_obst::{knuth_obst, parallel_obst};
 use pardp_parutils::{with_threads, Metrics};
 use pardp_treedp::{parallel_tree_glws_auto, sequential_tree_glws, CostShape, TreeGlwsInstance};
@@ -379,6 +380,61 @@ pub fn run_speedup(quick: bool, threads: &[usize]) -> Vec<SpeedupRow> {
             assert_eq!(par.d, seq.d, "{problem} parallel/sequential disagree");
             rows.push(speedup_row(
                 problem,
+                n,
+                t,
+                seq_secs,
+                par_secs,
+                &par.metrics,
+                &seq.metrics,
+                (pushes, wakeups),
+            ));
+        }
+    }
+
+    // OAT with the valley cordon (Theorem 5.1) against the sequential
+    // Garsia–Wachs baseline: O(log W) weight-doubling rounds with parallel
+    // per-slope combines, vs the leftmost-pair rescans of the baseline
+    // (quadratic on these sizes).
+    {
+        let n = if quick { 6_000 } else { 40_000 };
+        let weights = workloads::positive_weights(n, 1 << 16, 23);
+        let (seq_secs, seq) = best_of(reps, || garsia_wachs(&weights));
+        for &t in threads {
+            let (par_secs, par, pushes, wakeups) =
+                timed_parallel(t, reps, || parallel_oat_valley(&weights));
+            assert_eq!(
+                par.cost, seq.cost,
+                "oat_valley parallel/sequential disagree"
+            );
+            rows.push(speedup_row(
+                "oat_valley",
+                n,
+                t,
+                seq_secs,
+                par_secs,
+                &par.metrics,
+                &seq.metrics,
+                (pushes, wakeups),
+            ));
+        }
+    }
+
+    // The pre-Theorem-5.1 interval OAT cordon on the same profile (its own
+    // smaller n — the diagonal DP is Θ(n²) in time and space): the ablation
+    // partner showing what the valley decomposition buys.
+    {
+        let n = if quick { 400 } else { 2_000 };
+        let weights = workloads::positive_weights(n, 1 << 16, 23);
+        let (seq_secs, seq) = best_of(reps, || garsia_wachs(&weights));
+        for &t in threads {
+            let (par_secs, par, pushes, wakeups) =
+                timed_parallel(t, reps, || parallel_oat(&weights));
+            assert_eq!(
+                par.cost, seq.cost,
+                "oat_interval parallel/sequential disagree"
+            );
+            rows.push(speedup_row(
+                "oat_interval",
                 n,
                 t,
                 seq_secs,

@@ -32,6 +32,12 @@
 //! Both parallel variants produce bit-identical grids (validated against each
 //! other and against the naive oracle in the tests).
 //!
+//! Alignment traceback is provided in three flavors: the panicking
+//! [`reconstruct_gap_ops`], the fallible [`try_reconstruct_gap_ops`] (both
+//! grid-only, `O(n·(n+m))` worst case), and the near-linear
+//! [`try_reconstruct_gap_ops_with_provenance`] driven by the two-bit-per-cell
+//! predecessor flags of [`sequential_gap_with_provenance`].
+//!
 //! # The speculative-veto sweep invariant
 //!
 //! The packed round is executed as a *block-parallel speculative sweep*: the
@@ -347,6 +353,34 @@ where
     W1: Fn(usize, usize) -> i64 + Sync,
     W2: Fn(usize, usize) -> i64 + Sync,
 {
+    sequential_gap_impl(inst, None)
+}
+
+/// [`sequential_gap`] plus a [`GapProvenance`] record: two bits per cell
+/// remembering whether the column (`P`) and row (`Q`) candidates were tight
+/// at that cell.  The flags come for free (the candidates are evaluated
+/// anyway) and let [`try_reconstruct_gap_ops_with_provenance`] trace back in
+/// near-linear time instead of the grid-only scan's `O(n·(n+m))` worst case.
+pub fn sequential_gap_with_provenance<W1, W2>(
+    inst: &GapInstance<'_, W1, W2>,
+) -> (GapResult, GapProvenance)
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    let mut prov = GapProvenance::new(inst.a.len(), inst.b.len());
+    let result = sequential_gap_impl(inst, Some(&mut prov));
+    (result, prov)
+}
+
+fn sequential_gap_impl<W1, W2>(
+    inst: &GapInstance<'_, W1, W2>,
+    mut prov: Option<&mut GapProvenance>,
+) -> GapResult
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
     let metrics = MetricsCollector::new();
     let (n, m) = (inst.a.len(), inst.b.len());
     let mut d = vec![vec![INF; m + 1]; n + 1];
@@ -366,6 +400,11 @@ where
                 let mut best = p.min(q);
                 if i > 0 && j > 0 && inst.matches(i, j) {
                     best = best.min(d[i - 1][j - 1]);
+                }
+                if let Some(prov) = prov.as_deref_mut() {
+                    // `P == best` iff some i' < i explains the value with a
+                    // gap in A, and symmetrically for `Q` (gap in B).
+                    prov.record(i, j, p == best, q == best);
                 }
                 best
             };
@@ -1270,6 +1309,77 @@ pub enum GapOp {
     },
 }
 
+/// Traceback failure: no predecessor explains the value at cell `(i, j)` —
+/// the grid is not a valid GAP DP grid for the instance (or the provenance
+/// record belongs to a different grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapTracebackError {
+    /// Row of the unexplained cell.
+    pub i: usize,
+    /// Column of the unexplained cell.
+    pub j: usize,
+    /// The unexplained value `d[i][j]`.
+    pub value: i64,
+}
+
+impl core::fmt::Display for GapTracebackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "not a valid GAP DP grid at cell ({}, {}): value {} has no predecessor",
+            self.i, self.j, self.value
+        )
+    }
+}
+
+impl std::error::Error for GapTracebackError {}
+
+/// Per-cell predecessor flags recorded by [`sequential_gap_with_provenance`]:
+/// two bits per grid cell (packed, `(n+1)(m+1)/4` bytes) saying whether the
+/// column candidate `P` (a gap in `A`) and/or the row candidate `Q` (a gap in
+/// `B`) attained the cell's final value.
+#[derive(Debug, Clone)]
+pub struct GapProvenance {
+    bits: Vec<u64>,
+    cols: usize,
+}
+
+impl GapProvenance {
+    fn new(n: usize, m: usize) -> Self {
+        let cells = (n + 1) * (m + 1);
+        GapProvenance {
+            bits: vec![0u64; (2 * cells).div_ceil(64)],
+            cols: m + 1,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, i: usize, j: usize) -> (usize, u32) {
+        let k = 2 * (i * self.cols + j);
+        (k >> 6, (k & 63) as u32)
+    }
+
+    #[inline]
+    fn record(&mut self, i: usize, j: usize, a_tight: bool, b_tight: bool) {
+        let (word, off) = self.slot(i, j);
+        self.bits[word] |= ((a_tight as u64) | ((b_tight as u64) << 1)) << off;
+    }
+
+    /// Did a gap in `A` (some `i' < i`) attain `d[i][j]`?
+    #[inline]
+    pub fn a_tight(&self, i: usize, j: usize) -> bool {
+        let (word, off) = self.slot(i, j);
+        (self.bits[word] >> off) & 1 != 0
+    }
+
+    /// Did a gap in `B` (some `j' < j`) attain `d[i][j]`?
+    #[inline]
+    pub fn b_tight(&self, i: usize, j: usize) -> bool {
+        let (word, off) = self.slot(i, j);
+        (self.bits[word] >> off) & 2 != 0
+    }
+}
+
 /// Trace one optimal alignment back through a completed DP grid `d` (as
 /// returned by any of the GAP evaluations).  Deterministic tie-breaking:
 /// prefer a match, then the shortest gap in `A`, then the shortest gap in
@@ -1278,8 +1388,36 @@ pub enum GapOp {
 /// # Panics
 ///
 /// Panics if `d` is not a valid DP grid for `inst` (no predecessor explains
-/// some cell's value).
+/// some cell's value).  Use [`try_reconstruct_gap_ops`] for a `Result`, and
+/// [`try_reconstruct_gap_ops_with_provenance`] for the near-linear variant.
 pub fn reconstruct_gap_ops<W1, W2>(inst: &GapInstance<'_, W1, W2>, d: &[Vec<i64>]) -> Vec<GapOp>
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    match try_reconstruct_gap_ops(inst, d) {
+        Ok(ops) => ops,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible traceback through a completed DP grid, same tie-breaking as
+/// [`reconstruct_gap_ops`].
+///
+/// Works on any grid with no extra bookkeeping, but each gap op re-derives
+/// its predecessor by scanning candidates nearest-first: *successful* scans
+/// telescope (their total length is the summed gap length, at most `n + m`),
+/// yet a cell whose value is explained only by the other string's gap — or
+/// by nothing, on a corrupted grid — pays a full `O(i)` or `O(j)` scan, so
+/// the worst case is `O(n·(n+m))`.  When the grid came from
+/// [`sequential_gap_with_provenance`], use
+/// [`try_reconstruct_gap_ops_with_provenance`] instead: the recorded flags
+/// pick the branch in `O(1)` and every scan then succeeds, making traceback
+/// `O(n + m)` overall.
+pub fn try_reconstruct_gap_ops<W1, W2>(
+    inst: &GapInstance<'_, W1, W2>,
+    d: &[Vec<i64>],
+) -> Result<Vec<GapOp>, GapTracebackError>
 where
     W1: Fn(usize, usize) -> i64 + Sync,
     W2: Fn(usize, usize) -> i64 + Sync,
@@ -1302,11 +1440,64 @@ where
             ops.push(GapOp::GapB { l: jp, r: j });
             j = jp;
         } else {
-            panic!("not a valid GAP DP grid at cell ({i}, {j})");
+            return Err(GapTracebackError { i, j, value: cur });
         }
     }
     ops.reverse();
-    ops
+    Ok(ops)
+}
+
+/// Near-linear traceback using the provenance flags recorded by
+/// [`sequential_gap_with_provenance`]: the branch (match / gap in `A` / gap
+/// in `B`) is decided in `O(1)` per op from the flags — with the identical
+/// match-first, then-`A`, then-`B` priority as [`reconstruct_gap_ops`], since
+/// `a_tight` holds exactly when the grid-only scan would find an `i'` — and
+/// the nearest-first predecessor scans are then guaranteed to succeed, so
+/// their lengths telescope to the summed gap length: `O(n + m)` total.
+///
+/// Errors if `d` and `prov` are inconsistent with the instance (e.g. a
+/// corrupted grid, or provenance recorded for a different grid).
+pub fn try_reconstruct_gap_ops_with_provenance<W1, W2>(
+    inst: &GapInstance<'_, W1, W2>,
+    d: &[Vec<i64>],
+    prov: &GapProvenance,
+) -> Result<Vec<GapOp>, GapTracebackError>
+where
+    W1: Fn(usize, usize) -> i64 + Sync,
+    W2: Fn(usize, usize) -> i64 + Sync,
+{
+    let (n, m) = (inst.a.len(), inst.b.len());
+    assert_eq!(d.len(), n + 1, "grid has wrong number of rows");
+    assert_eq!(d[0].len(), m + 1, "grid has wrong number of columns");
+    let (mut i, mut j) = (n, m);
+    let mut ops = Vec::new();
+    while i > 0 || j > 0 {
+        let cur = d[i][j];
+        let err = GapTracebackError { i, j, value: cur };
+        if i > 0 && j > 0 && inst.matches(i, j) && d[i - 1][j - 1] == cur {
+            ops.push(GapOp::Match { i, j });
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && prov.a_tight(i, j) {
+            let ip = (0..i)
+                .rev()
+                .find(|&ip| d[ip][j] + (inst.w1)(ip, i) == cur)
+                .ok_or(err)?;
+            ops.push(GapOp::GapA { l: ip, r: i });
+            i = ip;
+        } else if j > 0 && prov.b_tight(i, j) {
+            let jp = (0..j)
+                .rev()
+                .find(|&jp| d[i][jp] + (inst.w2)(jp, j) == cur)
+                .ok_or(err)?;
+            ops.push(GapOp::GapB { l: jp, r: j });
+            j = jp;
+        } else {
+            return Err(err);
+        }
+    }
+    ops.reverse();
+    Ok(ops)
 }
 
 #[cfg(test)]
@@ -1624,6 +1815,50 @@ mod tests {
         }
         assert_eq!((i, j), (a.len(), b.len()), "ops must cover both strings");
         assert_eq!(cost, res.cost, "op costs must recompute the DP optimum");
+    }
+
+    #[test]
+    fn provenance_traceback_matches_grid_only_traceback() {
+        // The provenance flags must pick exactly the branch the grid-only
+        // scan would (match first, then shortest A-gap, then shortest
+        // B-gap), so the op sequences are identical — including instances
+        // dominated by one-sided gaps and by matches.
+        for (na, nb, alpha, seed) in [
+            (24usize, 19usize, 3u64, 1u64),
+            (30, 30, 1, 2),
+            (15, 40, 6, 3),
+        ] {
+            let a = pseudo_string(na, seed, alpha);
+            let b = pseudo_string(nb, seed + 7, alpha);
+            let inst = convex_gap_instance(&a, &b, 4, 1, 1);
+            let (res, prov) = sequential_gap_with_provenance(&inst);
+            assert_eq!(
+                res.d,
+                sequential_gap(&inst).d,
+                "provenance must not change the DP"
+            );
+            let plain = try_reconstruct_gap_ops(&inst, &res.d).unwrap();
+            let fast = try_reconstruct_gap_ops_with_provenance(&inst, &res.d, &prov).unwrap();
+            assert_eq!(plain, fast, "na {na} nb {nb} alpha {alpha}");
+            assert_eq!(plain, reconstruct_gap_ops(&inst, &res.d));
+        }
+    }
+
+    #[test]
+    fn corrupted_grid_reports_the_bad_cell_instead_of_panicking() {
+        let a = pseudo_string(12, 5, 3);
+        let b = pseudo_string(10, 6, 3);
+        let inst = convex_gap_instance(&a, &b, 4, 1, 1);
+        let (res, prov) = sequential_gap_with_provenance(&inst);
+        let mut bad = res.d.clone();
+        bad[a.len()][b.len()] -= 1; // no predecessor can explain this value
+        let err = try_reconstruct_gap_ops(&inst, &bad).unwrap_err();
+        assert_eq!((err.i, err.j), (a.len(), b.len()));
+        assert_eq!(err.value, res.d[a.len()][b.len()] - 1);
+        assert!(err.to_string().contains("not a valid GAP DP grid"));
+        assert!(try_reconstruct_gap_ops_with_provenance(&inst, &bad, &prov).is_err());
+        // The intact grid still reconstructs.
+        assert!(try_reconstruct_gap_ops(&inst, &res.d).is_ok());
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! The number of rounds equals the *perfect depth* of the DP DAG — the length
 //! of the longest best-decision chain (Lemma 4.5) — e.g. the number of post
 //! offices in the optimal solution of the running example.
+//!
+//! The paper's polylog-round OAT (Theorem 5.1) phrases each valley's combine
+//! schedule as an instance of this solver; the shipped driver
+//! (`pardp_oat::valley`) instead derives the same round structure from
+//! weight-doubling thresholds, keeping every combine verbatim Garsia–Wachs —
+//! its module docs spell out the correspondence.
 
 use crate::best::BestDecisionArray;
 use crate::cost::GlwsProblem;

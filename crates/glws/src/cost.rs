@@ -206,8 +206,12 @@ impl GlwsProblem for LinearGapCost {
     }
 }
 
-/// Adapter turning closures into a [`GlwsProblem`]; handy in tests and for the
-/// OAT reduction where the cost is defined by a precomputed table.
+/// Adapter turning closures into a [`GlwsProblem`]; handy in tests and for
+/// OAT-style reductions where the cost is defined by a precomputed table.
+/// (The shipped polylog-round OAT of Theorem 5.1, `pardp_oat::valley`,
+/// derives its rounds directly from weight-doubling thresholds rather than
+/// routing each valley through an LWS instance — see that module's docs for
+/// how the two formulations relate.)
 pub struct ClosureCost<W, E> {
     n: usize,
     d0: i64,

@@ -14,19 +14,32 @@
 //!   what turns Theorem 5.1 into a polylog-span algorithm for word-sized
 //!   integer weights (Corollary 5.1.1).
 //!
-//! [`parallel_oat`] is the phase-parallel interval-DP construction: the OAT is
-//! the OBST problem restricted to leaf weights (Sec. 5.5's observation), so
-//! the diagonal cordon of `pardp-obst` — run through the shared
-//! `run_phase_parallel` driver — computes the optimal tree in `n - 1` rounds,
-//! and the split-point table reconstructs the leaf depths.  The
-//! polylog-round OAT of Theorem 5.1 additionally needs Larmore et al.'s
-//! Cartesian-tree valley decomposition [72] on top of the parallel convex-LWS
-//! solver of `pardp-glws`; that driver remains future work (see ROADMAP.md).
+//! Two phase-parallel constructions run through the shared
+//! `run_phase_parallel` driver:
+//!
+//! * [`parallel_oat`] — the interval-DP cordon: the OAT is the OBST problem
+//!   restricted to leaf weights (Sec. 5.5's observation), so the diagonal
+//!   cordon of `pardp-obst` computes the optimal tree in `n - 1` rounds, and
+//!   the split-point table reconstructs the leaf depths.
+//! * [`parallel_oat_valley`] — the polylog-round construction of Theorem 5.1
+//!   (the [`valley`] module): the Cartesian-tree valley decomposition of
+//!   Larmore et al. [72] splits the weight sequence around its local minima,
+//!   and weight-doubling rounds replay independent Garsia–Wachs combines in
+//!   parallel across valley slopes, finishing in `O(log W)` rounds instead
+//!   of `n - 1`.  [`parallel_oat_auto`] routes tiny inputs back to the
+//!   interval cordon via [`oat_cordon_auto`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // DP recurrences read most naturally with explicit state indices.
 #![allow(clippy::needless_range_loop)]
+
+pub mod valley;
+
+pub use valley::{
+    cartesian_tree, oat_cordon_auto, parallel_oat_auto, parallel_oat_valley, valley_decomposition,
+    CartesianTree, IntervalOatCordon, OatLayout, Valley, ValleyOatCordon, OAT_VALLEY_MIN_N,
+};
 
 use pardp_core::run_phase_parallel;
 use pardp_obst::ObstCordon;
@@ -65,11 +78,20 @@ pub fn interval_dp_oat(weights: &[u64]) -> u64 {
     for len in 2..=n {
         for i in 0..=(n - len) {
             let j = i + len - 1;
+            // Knuth's quadrangle-inequality bounds: the optimal split is
+            // monotone in both endpoints, root[i][j-1] <= root[i][j] <=
+            // root[i+1][j], so the candidate range below is never empty.
+            // (`hi.max(lo)` here would silently mask a violation of that
+            // invariant; assert it instead.)
             let lo = root[i][j - 1];
             let hi = root[i + 1][j].min(j - 1);
+            debug_assert!(
+                lo <= hi,
+                "Knuth split-monotonicity violated on [{i}, {j}]: lo {lo} > hi {hi}"
+            );
             let mut best = u64::MAX;
             let mut best_k = lo;
-            for k in lo..=hi.max(lo) {
+            for k in lo..=hi {
                 let c = d[i][k] + d[k + 1][j];
                 if c < best {
                     best = c;
@@ -245,6 +267,55 @@ mod tests {
                 state % max_w + 1
             })
             .collect()
+    }
+
+    /// Unrestricted O(n³) interval DP: every split point considered, no
+    /// Knuth bounds.  Reference for the property test below.
+    fn cubic_dp_oat(weights: &[u64]) -> u64 {
+        let n = weights.len();
+        if n <= 1 {
+            return 0;
+        }
+        let mut pre = vec![0u64; n + 1];
+        for i in 0..n {
+            pre[i + 1] = pre[i] + weights[i];
+        }
+        let mut d = vec![vec![0u64; n]; n];
+        for len in 2..=n {
+            for i in 0..=(n - len) {
+                let j = i + len - 1;
+                d[i][j] =
+                    (i..j).map(|k| d[i][k] + d[k + 1][j]).min().unwrap() + (pre[j + 1] - pre[i]);
+            }
+        }
+        d[0][n - 1]
+    }
+
+    #[test]
+    fn knuth_bounded_dp_matches_unrestricted_cubic_reference() {
+        // Random profiles plus the shapes that stress split monotonicity:
+        // plateaus of equal weights (tied splits), monotone ramps, and
+        // valley/mountain profiles.
+        for seed in 0..12 {
+            for &n in &[2usize, 3, 5, 9, 17, 33, 64] {
+                let w = pseudo_weights(n, seed, 8); // small range => many ties
+                assert_eq!(interval_dp_oat(&w), cubic_dp_oat(&w), "weights {w:?}");
+            }
+        }
+        for n in [2usize, 7, 30, 63] {
+            let equal = vec![3u64; n];
+            assert_eq!(interval_dp_oat(&equal), cubic_dp_oat(&equal));
+            let ramp: Vec<u64> = (1..=n as u64).collect();
+            assert_eq!(interval_dp_oat(&ramp), cubic_dp_oat(&ramp));
+            let valley: Vec<u64> = (0..n).map(|i| (2 * i).abs_diff(n) as u64 + 1).collect();
+            assert_eq!(
+                interval_dp_oat(&valley),
+                cubic_dp_oat(&valley),
+                "{valley:?}"
+            );
+            let mountain: Vec<u64> = valley.iter().rev().copied().collect();
+            assert_eq!(interval_dp_oat(&mountain), cubic_dp_oat(&mountain));
+        }
     }
 
     #[test]

@@ -32,4 +32,4 @@ pub use pack::{par_filter, par_pack_index};
 pub use par::{maybe_join, par_chunks_mut_indexed, par_map, with_threads, SEQ_CUTOFF};
 pub use reduce::{par_min_index, par_min_value, par_reduce};
 pub use scan::{par_prefix_min_inclusive, par_scan_exclusive, par_scan_inclusive};
-pub use sort::par_sort_by_key;
+pub use sort::{par_sort_by_key, par_sort_by_key_with};

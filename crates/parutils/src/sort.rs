@@ -8,7 +8,32 @@
 use crate::par::{maybe_join, SEQ_CUTOFF};
 
 /// Stable parallel sort of `items` by the key extracted with `key`.
+///
+/// Allocates a fresh scratch buffer above the cutoff; callers that sort
+/// repeatedly should hold a scratch `Vec` and use [`par_sort_by_key_with`]
+/// instead, which reuses it across calls (arena-style, like the engine's
+/// `FrontierArena`).
 pub fn par_sort_by_key<T, K, F>(items: &mut [T], key: F)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let mut scratch = Vec::new();
+    par_sort_by_key_with(items, &mut scratch, key);
+}
+
+/// Stable parallel sort of `items` by `key`, merging through the reusable
+/// `scratch` buffer.
+///
+/// The merge writes every scratch slot before reading it, so the buffer's
+/// existing contents are irrelevant; it only needs to hold `items.len()`
+/// initialized values.  On the first call (or the first call at a new
+/// high-water length) the deficit is seeded by cloning from `items`; every
+/// later call at or below that length performs **zero** heap allocation and
+/// zero seeding clones, which is what keeps steady-state cordon rounds
+/// allocation-free (`tests/alloc_counting.rs`).
+pub fn par_sort_by_key_with<T, K, F>(items: &mut [T], scratch: &mut Vec<T>, key: F)
 where
     T: Clone + Send + Sync,
     K: Ord,
@@ -19,8 +44,11 @@ where
         items.sort_by_key(|x| key(x));
         return;
     }
-    let mut buf = items.to_vec();
-    merge_sort(items, &mut buf, &key);
+    if scratch.len() < n {
+        scratch.clear();
+        scratch.extend_from_slice(items);
+    }
+    merge_sort(items, &mut scratch[..n], &key);
 }
 
 fn merge_sort<T, K, F>(data: &mut [T], buf: &mut [T], key: &F)
@@ -127,5 +155,46 @@ mod tests {
         par_sort_by_key(&mut v, |x| *x);
         let want: Vec<u32> = (0..30_000).collect();
         assert_eq!(v, want);
+    }
+
+    #[test]
+    fn sort_with_reuses_the_scratch_buffer() {
+        let mut scratch: Vec<u64> = Vec::new();
+        let mut v: Vec<u64> = (0..50_000).map(|i| (i * 2654435761) % 999_983).collect();
+        par_sort_by_key_with(&mut v, &mut scratch, |x| *x);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        // The scratch was grown once; later calls at the same (or smaller)
+        // length must reuse the very same allocation.
+        let cap = scratch.capacity();
+        let ptr = scratch.as_ptr();
+        for round in 0..3u64 {
+            let mut w: Vec<u64> = (0..50_000u64)
+                .map(|i| i.wrapping_mul(11400714819323198485).wrapping_add(round) % 999_983)
+                .collect();
+            let mut want = w.clone();
+            want.sort_unstable();
+            par_sort_by_key_with(&mut w, &mut scratch, |x| *x);
+            assert_eq!(w, want);
+            assert_eq!(scratch.capacity(), cap, "scratch must not reallocate");
+            assert_eq!(scratch.as_ptr(), ptr, "scratch must not move");
+        }
+        // Smaller inputs also reuse the same buffer.
+        let mut small: Vec<u64> = (0..10_000).rev().collect();
+        par_sort_by_key_with(&mut small, &mut scratch, |x| *x);
+        assert!(small.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(scratch.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn sort_with_is_stable_and_matches_plain_sort() {
+        let mut scratch: Vec<(u32, usize)> = Vec::new();
+        let mut v: Vec<(u32, usize)> = (0..40_000).map(|i| ((i % 7) as u32, i)).collect();
+        par_sort_by_key_with(&mut v, &mut scratch, |p| p.0);
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
     }
 }

@@ -13,6 +13,7 @@
 // DP recurrences read most naturally with explicit state indices.
 #![allow(clippy::needless_range_loop)]
 
+use pardp_parutils::par_sort_by_key_with;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -213,6 +214,46 @@ pub fn skewed_weights(n: usize, max_weight: u64, period: usize, seed: u64) -> Ve
         .map(|i| (max_weight / (1 + (i % period.max(1)) as u64)).max(1))
         .collect();
     w.shuffle(&mut r);
+    w
+}
+
+/// Equal weights: the OAT degenerates to a balanced tree and every
+/// Garsia–Wachs combine is wall-adjacent — the adversarial profile for the
+/// valley cordon's parallel phase (everything falls to the sequential sweep).
+pub fn equal_weights(n: usize, weight: u64) -> Vec<u64> {
+    vec![weight.max(1); n]
+}
+
+/// Exponentially growing weights `base^(i mod cap)` (capped to avoid
+/// overflow): the optimal alphabetic tree is a caterpillar, the deepest shape
+/// Lemma 5.1 admits for the weight range.
+pub fn exponential_weights(n: usize, base: u64, cap: u32) -> Vec<u64> {
+    let base = base.max(2);
+    // Cap the exponent so the total weight stays far below u64::MAX.
+    let log2_base = (63 - base.leading_zeros()).max(1);
+    let cap = cap.clamp(1, (50 / log2_base).max(1));
+    (0..n).map(|i| base.pow(i as u32 % cap)).collect()
+}
+
+/// A single-valley weight profile: random weights sorted descending on the
+/// left half and ascending on the right — one Cartesian-tree leaf, two long
+/// monotone slopes.  Sorting goes through the reusable-scratch parallel sort
+/// ([`pardp_parutils::par_sort_by_key_with`]); both halves share one scratch.
+pub fn valley_weights(n: usize, max_weight: u64, seed: u64) -> Vec<u64> {
+    let mut w = positive_weights(n, max_weight, seed);
+    let mid = n / 2;
+    let mut scratch = Vec::new();
+    let (left, right) = w.split_at_mut(mid);
+    par_sort_by_key_with(left, &mut scratch, |&x| core::cmp::Reverse(x));
+    par_sort_by_key_with(right, &mut scratch, |&x| x);
+    w
+}
+
+/// A single-mountain weight profile (the reverse of [`valley_weights`]):
+/// ascending then descending, so every proper valley sits at the ends.
+pub fn mountain_weights(n: usize, max_weight: u64, seed: u64) -> Vec<u64> {
+    let mut w = valley_weights(n, max_weight, seed);
+    w.reverse();
     w
 }
 
@@ -481,6 +522,35 @@ mod tests {
         let s = skewed_weights(1000, 1 << 20, 64, 4);
         assert_eq!(s.len(), 1000);
         assert!(s.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn oat_weight_profiles_have_their_shapes() {
+        let eq = equal_weights(100, 7);
+        assert!(eq.iter().all(|&x| x == 7));
+        let ex = exponential_weights(100, 2, 40);
+        assert_eq!(ex[0], 1);
+        assert_eq!(ex[39], 1 << 39);
+        assert_eq!(ex[40], 1, "exponent wraps at the cap");
+        // Large-base exponents are clamped to keep totals far from overflow.
+        let big = exponential_weights(64, 1 << 25, 60);
+        assert!(big.iter().all(|&x| x < 1 << 51));
+        let v = valley_weights(5000, 1 << 20, 3);
+        assert_eq!(v.len(), 5000);
+        assert!(
+            v[..2500].windows(2).all(|w| w[0] >= w[1]),
+            "left slope descends"
+        );
+        assert!(
+            v[2500..].windows(2).all(|w| w[0] <= w[1]),
+            "right slope ascends"
+        );
+        let m = mountain_weights(5000, 1 << 20, 3);
+        let mut rev = v.clone();
+        rev.reverse();
+        assert_eq!(m, rev);
+        // Determinism across calls (the shared-scratch sort is stable).
+        assert_eq!(v, valley_weights(5000, 1 << 20, 3));
     }
 
     #[test]

@@ -68,9 +68,11 @@ pub use pardp_workloads as workloads;
 ///
 /// The same call shape works for `LcsCordon`, `ConvexGlwsCordon`,
 /// `ConcaveGlwsCordon`, `KGlwsCordon`, `GapCordon`, `TreeGlwsCordon`,
-/// `HldTreeGlwsCordon`, `ObstCordon` — and for router-produced
-/// `EitherCordon` values such as `tree_glws_cordon_auto`'s, which picks the
-/// cheaper Tree-GLWS cordon per instance from an O(n) shape probe.
+/// `HldTreeGlwsCordon`, `ObstCordon`, `ValleyOatCordon` — and for
+/// router-produced `EitherCordon` values such as `tree_glws_cordon_auto`'s
+/// (cheaper Tree-GLWS cordon from an O(n) shape probe) and
+/// `oat_cordon_auto`'s (polylog-round valley OAT above a size cutoff,
+/// interval cordon below it).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CordonSolver {
     round_budget: Option<u64>,
@@ -149,7 +151,11 @@ pub mod prelude {
         LcsCordon, LcsResult, MatchPair,
     };
     pub use pardp_lis::{naive_lis, parallel_lis, sequential_lis, LisCordon, LisResult};
-    pub use pardp_oat::{garsia_wachs, interval_dp_oat, oat_height_bound, parallel_oat, OatResult};
+    pub use pardp_oat::{
+        garsia_wachs, interval_dp_oat, oat_cordon_auto, oat_height_bound, parallel_oat,
+        parallel_oat_auto, parallel_oat_valley, IntervalOatCordon, OatLayout, OatResult,
+        ValleyOatCordon,
+    };
     pub use pardp_obst::{knuth_obst, naive_obst, parallel_obst, ObstCordon, ObstResult};
     pub use pardp_parutils::{with_threads, Metrics, MetricsCollector};
     pub use pardp_tournament::{TieRule, TournamentTree};

@@ -113,6 +113,42 @@ fn packed_gap_is_bit_identical_across_speculative_block_counts() {
 }
 
 #[test]
+fn valley_oat_results_are_bit_identical_across_thread_counts() {
+    use parallel_dp::oat::{garsia_wachs, parallel_oat_auto, parallel_oat_valley};
+    // Profiles covering both router arms and all parallel-phase behaviours:
+    // random (many valleys), valley/mountain (two long slopes), equal
+    // weights (pure sequential-sweep rounds).
+    let profiles = [
+        ("random", workloads::positive_weights(6_000, 1 << 16, 7)),
+        ("valley", workloads::valley_weights(6_000, 1 << 16, 8)),
+        ("mountain", workloads::mountain_weights(6_000, 1 << 16, 9)),
+        ("equal", workloads::equal_weights(4_096, 5)),
+    ];
+    for (name, w) in profiles {
+        let baseline = with_threads(1, || parallel_oat_valley(&w));
+        for t in THREAD_COUNTS {
+            let run = with_threads(t, || parallel_oat_valley(&w));
+            assert_eq!(
+                run.depths, baseline.depths,
+                "{name}: depths differ at {t} threads"
+            );
+            assert_eq!(run.cost, baseline.cost);
+            assert_eq!(
+                run.metrics.frontier_sizes, baseline.metrics.frontier_sizes,
+                "{name}: round schedule differs at {t} threads"
+            );
+            let routed = with_threads(t, || parallel_oat_auto(&w));
+            assert_eq!(routed.depths, baseline.depths, "{name}: router diverges");
+        }
+        let seq = garsia_wachs(&w);
+        assert_eq!(
+            baseline.cost, seq.cost,
+            "{name}: valley OAT disagrees with Garsia–Wachs"
+        );
+    }
+}
+
+#[test]
 fn auto_routed_tree_glws_is_bit_identical_across_thread_counts() {
     use parallel_dp::treedp::parallel_tree_glws_auto;
     // One shape per router outcome: deep (HLD cordon) and shallow (baseline).

@@ -109,6 +109,18 @@ fn every_parallel_algorithm_reports_per_round_frontiers() {
     // OAT through the same interval cordon.
     assert_frontier_telemetry_consistent(&parallel_oat(&w).metrics);
 
+    // Valley OAT (Theorem 5.1): frontiers are combines per weight-doubling
+    // round, summing to n - 1 total combines in O(log W) rounds.
+    let vw = workloads::positive_weights(500, 1 << 12, 2);
+    let valley = parallel_oat_valley(&vw);
+    assert_frontier_telemetry_consistent(&valley.metrics);
+    assert_eq!(valley.metrics.states_finalized, 499);
+    assert!(
+        valley.metrics.rounds <= oat_height_bound(&vw) as u64,
+        "valley rounds {} exceed the Lemma 5.1 budget",
+        valley.metrics.rounds
+    );
+
     // The explicit-DAG reference.
     use parallel_dp::core::{EdgeWeightedDag, Objective};
     let mut dag = EdgeWeightedDag::new(50, Objective::Maximize);
@@ -173,6 +185,37 @@ fn hld_tree_cordon_budget_equals_height_through_the_driver() {
         .unwrap_err();
     match err {
         StallError::BudgetExhausted { budget, .. } => assert_eq!(budget, run.metrics.rounds / 2),
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn valley_oat_cordon_budget_and_router_through_the_driver() {
+    // The valley cordon arms the driver's budget guard with its doubling
+    // bound (<= log2(total weight) + O(1) rounds, far below n - 1); the
+    // solver must run it — and the size-routed EitherCordon — like any
+    // other instance.
+    let w = workloads::valley_weights(3_000, 1 << 14, 4);
+    let run = CordonSolver::new().run(ValleyOatCordon::new(&w));
+    assert_frontier_telemetry_consistent(&run.metrics);
+    assert_eq!(run.metrics.states_finalized, 2_999);
+    assert!(
+        run.metrics.rounds < 60,
+        "rounds {} not polylog",
+        run.metrics.rounds
+    );
+    assert_eq!(run.output.cost, interval_dp_oat(&w));
+
+    let routed = CordonSolver::new().run(oat_cordon_auto(&w));
+    assert_eq!(routed.output, run.output);
+    assert_eq!(routed.metrics.rounds, run.metrics.rounds);
+
+    // An impossible budget trips the typed stall guard, not a panic.
+    let err = CordonSolver::with_round_budget(1)
+        .try_run(ValleyOatCordon::new(&w))
+        .unwrap_err();
+    match err {
+        StallError::BudgetExhausted { budget, .. } => assert_eq!(budget, 1),
         other => panic!("expected BudgetExhausted, got {other:?}"),
     }
 }

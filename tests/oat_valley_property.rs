@@ -1,0 +1,134 @@
+//! Cross-validation of the polylog-round valley OAT (Theorem 5.1) against
+//! both sequential oracles on random and adversarial weight profiles, plus
+//! the Lemma 5.1 round-count assertion that separates it from the interval
+//! cordon's `n - 1` rounds.
+
+use parallel_dp::oat::{
+    garsia_wachs, interval_dp_oat, oat_height_bound, parallel_oat, parallel_oat_auto,
+    parallel_oat_valley, OAT_VALLEY_MIN_N,
+};
+use parallel_dp::workloads;
+
+/// A depth sequence is realizable as an ordered full binary tree iff the
+/// classic stack merge reduces it to a single root of depth 0.
+fn alphabetically_realizable(depths: &[u32]) -> bool {
+    let mut stack: Vec<u32> = Vec::new();
+    for &d in depths {
+        let mut cur = d;
+        while stack.last() == Some(&cur) {
+            if cur == 0 {
+                return false;
+            }
+            stack.pop();
+            cur -= 1;
+        }
+        stack.push(cur);
+    }
+    stack == [0]
+}
+
+fn check_profile(name: &str, w: &[u64]) {
+    let valley = parallel_oat_valley(w);
+    let gw = garsia_wachs(w);
+    assert_eq!(
+        valley.cost, gw.cost,
+        "{name}: cost disagrees with Garsia–Wachs"
+    );
+    let recomputed: u64 = w
+        .iter()
+        .zip(&valley.depths)
+        .map(|(&a, &d)| a * d as u64)
+        .sum();
+    assert_eq!(
+        recomputed, valley.cost,
+        "{name}: depths must attain the cost"
+    );
+    assert!(
+        alphabetically_realizable(&valley.depths),
+        "{name}: depth vector is not realizable as an ordered tree"
+    );
+    assert_eq!(
+        valley.height,
+        *valley.depths.iter().max().unwrap(),
+        "{name}: height must be max depth"
+    );
+    assert!(
+        valley.height <= oat_height_bound(w),
+        "{name}: height {} exceeds the Lemma 5.1 bound",
+        valley.height
+    );
+    // Theorem 5.1's point: rounds are bounded by the same O(log W) quantity
+    // as the tree height (the combine threshold doubles every round), not by
+    // n - 1 like the interval cordon.
+    assert!(
+        valley.metrics.rounds <= oat_height_bound(w) as u64,
+        "{name}: rounds {} exceed the Lemma 5.1 budget {}",
+        valley.metrics.rounds,
+        oat_height_bound(w)
+    );
+    assert_eq!(valley.metrics.states_finalized, (w.len() - 1) as u64);
+}
+
+#[test]
+fn valley_oat_matches_oracles_on_random_profiles() {
+    for seed in 0..4 {
+        for &n in &[100usize, 500, 2_000] {
+            let w = workloads::positive_weights(n, 1 << 16, seed);
+            check_profile("random", &w);
+            // Quadratic oracle only at the smaller sizes.
+            if n <= 500 {
+                assert_eq!(parallel_oat_valley(&w).cost, interval_dp_oat(&w));
+            }
+        }
+        let s = workloads::skewed_weights(800, 1 << 20, 64, seed);
+        check_profile("skewed", &s);
+    }
+}
+
+#[test]
+fn valley_oat_matches_oracles_on_adversarial_profiles() {
+    check_profile("equal", &workloads::equal_weights(2_048, 9));
+    check_profile("equal-odd", &workloads::equal_weights(1_777, 3));
+    check_profile("exponential", &workloads::exponential_weights(600, 2, 40));
+    check_profile("exponential-3", &workloads::exponential_weights(600, 3, 25));
+    check_profile("valley", &workloads::valley_weights(3_000, 1 << 16, 11));
+    check_profile("mountain", &workloads::mountain_weights(3_000, 1 << 16, 11));
+}
+
+#[test]
+fn valley_rounds_are_polylog_where_the_interval_cordon_is_linear() {
+    let w = workloads::positive_weights(4_000, 1 << 16, 5);
+    let valley = parallel_oat_valley(&w);
+    let interval = parallel_oat(&w);
+    assert_eq!(valley.cost, interval.cost);
+    assert_eq!(
+        interval.metrics.rounds, 3_999,
+        "interval cordon: one round per diagonal"
+    );
+    assert!(
+        valley.metrics.rounds < 100,
+        "valley cordon rounds {} must be polylog, not linear",
+        valley.metrics.rounds
+    );
+}
+
+#[test]
+fn auto_router_agrees_with_both_arms_around_the_cutoff() {
+    for n in [
+        2usize,
+        OAT_VALLEY_MIN_N - 1,
+        OAT_VALLEY_MIN_N,
+        OAT_VALLEY_MIN_N + 1,
+        300,
+    ] {
+        let w = workloads::positive_weights(n, 1 << 10, 17);
+        let auto = parallel_oat_auto(&w);
+        assert_eq!(auto.cost, interval_dp_oat(&w), "n {n}");
+        let recomputed: u64 = w
+            .iter()
+            .zip(&auto.depths)
+            .map(|(&a, &d)| a * d as u64)
+            .sum();
+        assert_eq!(recomputed, auto.cost, "n {n}");
+    }
+}
