@@ -1,0 +1,151 @@
+//! Command-line front end for `pardp-analyze`.
+//!
+//! ```text
+//! cargo run -p pardp-analyze -- --deny-all --json analyze_findings.json
+//! ```
+//!
+//! Exit codes: `0` clean (or findings in warn-only mode), `1` findings under
+//! `--deny-all`, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pardp_analyze::{analyze_root, Config, RULES};
+
+const USAGE: &str = "\
+pardp-analyze: static enforcement of the workspace's concurrency contracts
+
+USAGE:
+    pardp-analyze [OPTIONS]
+
+OPTIONS:
+    --root <DIR>        Workspace root to scan (default: auto-detected from cwd)
+    --allowlist <FILE>  Allowlist file (default: <root>/crates/analyze/allowlist.txt)
+    --json <FILE>       Also write machine-readable findings to <FILE>
+    --deny-all          Exit non-zero when any finding is reported
+    --quiet             Suppress per-finding output (summary only)
+    --list-rules        Print the rule catalogue and exit
+    --help              Show this help
+";
+
+struct Options {
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    json: Option<PathBuf>,
+    deny_all: bool,
+    quiet: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        allowlist: None,
+        json: None,
+        deny_all: false,
+        quiet: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory argument")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--allowlist" => {
+                let v = it.next().ok_or("--allowlist requires a file argument")?;
+                opts.allowlist = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json requires a file argument")?;
+                opts.json = Some(PathBuf::from(v));
+            }
+            "--deny-all" => opts.deny_all = true,
+            "--quiet" => opts.quiet = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walk up from the current directory to the first ancestor that contains
+/// `crates/analyze` — the workspace root, wherever the binary was invoked.
+fn detect_root() -> Option<PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    cwd.ancestors()
+        .find(|d| d.join("crates/analyze").is_dir() && d.join("Cargo.toml").is_file())
+        .map(PathBuf::from)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for (id, summary) in RULES {
+            println!("{id:<24} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(root) = opts.root.or_else(detect_root) else {
+        eprintln!("error: could not locate the workspace root; pass --root <DIR>");
+        return ExitCode::from(2);
+    };
+    let allowlist = opts
+        .allowlist
+        .unwrap_or_else(|| root.join("crates/analyze/allowlist.txt"));
+    let config = match Config::load(&allowlist) {
+        Ok(config) => config,
+        Err(err) => {
+            eprintln!("error: allowlist: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyze_root(&root, &config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !opts.quiet {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+    }
+    println!(
+        "pardp-analyze: {} finding(s) across {} file(s)",
+        report.findings.len(),
+        report.files_scanned
+    );
+
+    if let Some(json_path) = &opts.json {
+        if let Err(err) = std::fs::write(json_path, report.to_json()) {
+            eprintln!("error: writing {}: {err}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.deny_all && !report.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

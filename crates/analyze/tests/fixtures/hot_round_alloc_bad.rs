@@ -1,0 +1,22 @@
+//! Seeded violation: allocation inside a `PhaseParallel` round body.
+
+pub struct Counting {
+    left: usize,
+}
+
+impl PhaseParallel for Counting {
+    type Output = Vec<usize>;
+
+    fn is_done(&self) -> bool {
+        self.left == 0
+    }
+
+    fn round(&mut self, _metrics: &MetricsCollector) -> usize {
+        let batch: Vec<usize> = (0..self.left).collect();
+        let copy = batch.to_vec();
+        let staged = Vec::with_capacity(copy.len());
+        drop(staged);
+        self.left = 0;
+        batch.len()
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixed form: buffers live on the instance, built in the constructor; the
+//! round body only reuses them.  Allocation outside round bodies is fine.
+
+pub struct Counting {
+    left: usize,
+    scratch: Vec<usize>,
+}
+
+impl Counting {
+    pub fn new(n: usize) -> Self {
+        Counting {
+            left: n,
+            scratch: Vec::with_capacity(n),
+        }
+    }
+}
+
+impl PhaseParallel for Counting {
+    type Output = Vec<usize>;
+
+    fn is_done(&self) -> bool {
+        self.left == 0
+    }
+
+    fn round(&mut self, _metrics: &MetricsCollector) -> usize {
+        self.scratch.clear();
+        self.scratch.extend(0..self.left);
+        self.left = 0;
+        self.scratch.len()
+    }
+}

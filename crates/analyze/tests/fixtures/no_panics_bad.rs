@@ -1,0 +1,13 @@
+//! Seeded violation: panicking calls in library code.
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("not a number")
+}
+
+pub fn fail() {
+    panic!("unconditional");
+}

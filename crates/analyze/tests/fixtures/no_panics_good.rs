@@ -1,0 +1,25 @@
+//! Fixed form: typed errors (or total functions) in library code; unwraps are
+//! free inside `#[cfg(test)]` modules.
+
+pub fn head(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+pub fn parse(s: &str) -> Result<u64, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn fallback(x: Option<u64>) -> u64 {
+    x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let w: Vec<u8> = vec![1, 2];
+        assert_eq!(*w.first().expect("non-empty"), 1);
+    }
+}

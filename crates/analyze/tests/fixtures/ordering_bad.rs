@@ -1,0 +1,13 @@
+//! Seeded violation: atomic orderings without `// ordering:` justifications.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static COUNT: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    COUNT.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn read() -> usize {
+    COUNT.load(Ordering::Acquire)
+}

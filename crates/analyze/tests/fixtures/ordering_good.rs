@@ -1,0 +1,21 @@
+//! Fixed form: every ordering carries a justification, on the same line or in
+//! the comment block directly above.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static COUNT: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    // ordering: SeqCst — this counter doubles as a crude fence in the
+    // fixture's imaginary protocol.
+    COUNT.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn read() -> usize {
+    COUNT.load(Ordering::Acquire) // ordering: pairs with the SeqCst bump
+}
+
+pub fn cmp(a: u32, b: u32) -> std::cmp::Ordering {
+    // `cmp::Ordering` variants are not atomic orderings; no comment needed.
+    a.cmp(&b).then(std::cmp::Ordering::Equal)
+}

@@ -1,0 +1,16 @@
+//! Seeded violation: ad-hoc threads and raw synchronization outside the pool.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Queue {
+    items: Mutex<Vec<u64>>,
+    ready: Condvar,
+}
+
+pub fn run_in_background(f: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(f);
+}
+
+pub fn run_named(f: impl FnOnce() + Send + 'static) {
+    let _ = std::thread::Builder::new().name("bg".into()).spawn(f);
+}

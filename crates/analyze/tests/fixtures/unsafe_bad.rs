@@ -1,0 +1,5 @@
+//! Seeded violation: `unsafe` outside the whitelist, without a SAFETY note.
+
+pub fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,8 @@
+//! Fixed form: the same block inside a whitelisted file with a SAFETY note
+//! (the test scans this source under the whitelisted path).
+
+pub fn read_first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,139 @@
+//! Per-rule fixture tests: every rule must fire on its seeded violation and
+//! stay silent on the fixed form.  The fixture sources live under
+//! `tests/fixtures/` (excluded from workspace scans) and are scanned here
+//! under synthetic library paths so the library-only rules apply.
+
+use pardp_analyze::{check_file, scan_file_source, Config, Finding};
+
+const LIB_PATH: &str = "crates/fixture/src/lib.rs";
+
+fn findings(rel_path: &str, src: &str, config: &Config) -> Vec<Finding> {
+    check_file(&scan_file_source(rel_path, src), config)
+}
+
+fn rules_of(found: &[Finding]) -> Vec<&str> {
+    found.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn unsafe_rules_fire_and_clear() {
+    let config =
+        Config::parse("unsafe-whitelist crates/fixture/src/lib.rs\n").expect("valid allowlist");
+    let bad = findings(
+        LIB_PATH,
+        include_str!("fixtures/unsafe_bad.rs"),
+        &Config::empty(),
+    );
+    assert!(rules_of(&bad).contains(&"unsafe-whitelist"), "{bad:?}");
+    assert!(rules_of(&bad).contains(&"unsafe-safety-comment"), "{bad:?}");
+
+    // Whitelisting the file clears the location rule but not the missing
+    // SAFETY justification.
+    let still = findings(LIB_PATH, include_str!("fixtures/unsafe_bad.rs"), &config);
+    assert!(!rules_of(&still).contains(&"unsafe-whitelist"), "{still:?}");
+    assert!(
+        rules_of(&still).contains(&"unsafe-safety-comment"),
+        "{still:?}"
+    );
+
+    let good = findings(LIB_PATH, include_str!("fixtures/unsafe_good.rs"), &config);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn ordering_rule_fires_and_clears() {
+    let bad = findings(
+        LIB_PATH,
+        include_str!("fixtures/ordering_bad.rs"),
+        &Config::empty(),
+    );
+    assert_eq!(rules_of(&bad), vec!["ordering-comment"; 2], "{bad:?}");
+
+    let good = findings(
+        LIB_PATH,
+        include_str!("fixtures/ordering_good.rs"),
+        &Config::empty(),
+    );
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn hot_round_alloc_rule_fires_and_clears() {
+    let bad = findings(
+        LIB_PATH,
+        include_str!("fixtures/hot_round_alloc_bad.rs"),
+        &Config::empty(),
+    );
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "hot-round-alloc").count(),
+        3,
+        "collect, to_vec and with_capacity inside round: {bad:?}"
+    );
+
+    let good = findings(
+        LIB_PATH,
+        include_str!("fixtures/hot_round_alloc_good.rs"),
+        &Config::empty(),
+    );
+    assert!(
+        good.is_empty(),
+        "constructor allocation must not be flagged: {good:?}"
+    );
+}
+
+#[test]
+fn raw_parallelism_rule_fires_and_clears() {
+    let bad = findings(
+        LIB_PATH,
+        include_str!("fixtures/raw_parallelism_bad.rs"),
+        &Config::empty(),
+    );
+    let rules = rules_of(&bad);
+    assert!(
+        rules.iter().filter(|r| **r == "raw-parallelism").count() >= 4,
+        "Mutex, Condvar, thread::spawn and thread::Builder: {bad:?}"
+    );
+
+    let good = findings(
+        LIB_PATH,
+        include_str!("fixtures/raw_parallelism_good.rs"),
+        &Config::empty(),
+    );
+    assert!(
+        good.is_empty(),
+        "rayon facade + inline allows must be clean: {good:?}"
+    );
+}
+
+#[test]
+fn no_panics_rule_fires_and_clears() {
+    let bad = findings(
+        LIB_PATH,
+        include_str!("fixtures/no_panics_bad.rs"),
+        &Config::empty(),
+    );
+    assert_eq!(rules_of(&bad), vec!["no-panics"; 3], "{bad:?}");
+
+    let good = findings(
+        LIB_PATH,
+        include_str!("fixtures/no_panics_good.rs"),
+        &Config::empty(),
+    );
+    assert!(
+        good.is_empty(),
+        "typed errors and cfg(test) unwraps must be clean: {good:?}"
+    );
+}
+
+#[test]
+fn library_only_rules_skip_test_binaries() {
+    // The same panicking source under a non-library path is fine (L2-L5 are
+    // library-only); the unsafe rules still apply everywhere.
+    let found = findings(
+        "tests/some_integration_test.rs",
+        include_str!("fixtures/no_panics_bad.rs"),
+        &Config::empty(),
+    );
+    assert!(found.is_empty(), "{found:?}");
+}

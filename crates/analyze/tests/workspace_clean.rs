@@ -1,0 +1,30 @@
+//! The workspace gate: `pardp-analyze` must report zero findings at HEAD with
+//! the committed allowlist — the same invocation CI runs.
+
+use std::path::Path;
+
+use pardp_analyze::{analyze_root, Config};
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let allowlist = root.join("crates").join("analyze").join("allowlist.txt");
+    let config = Config::load(&allowlist).expect("committed allowlist parses");
+    let report = analyze_root(&root, &config).expect("workspace scan succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "the tree must be clean at HEAD; run `cargo run -p pardp-analyze` and \
+         fix (or justify) each finding:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "scan unexpectedly small: {} files",
+        report.files_scanned
+    );
+}

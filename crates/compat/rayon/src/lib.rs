@@ -175,6 +175,9 @@ impl<'scope> Scope<'scope> {
                 // SAFETY(contract): `scope()` waits on this core's latch
                 // before returning, on the normal and the unwind path alike,
                 // so the job cannot outlive the frame it borrows.
+                // analyze: allow(unsafe-whitelist): the one caller of the
+                // pool's lifetime-erasing `spawn_erased`; the unsafety is
+                // discharged by the latch contract documented above.
                 #[allow(unsafe_code)]
                 unsafe {
                     self.core.spawn_erased(job)
@@ -1388,6 +1391,9 @@ impl<P: IndexedProducer> ParIter<P> {
                 // SAFETY: `fill_slots` wrote every one of the `len` reserved
                 // slots exactly once (indexed producers yield exactly `len`
                 // items); on panic we never get here and `target` stays empty.
+                // analyze: allow(unsafe-whitelist): `set_len` after a fully
+                // initialized spare-capacity fill — the shim's zero-alloc
+                // collect path, justified by the SAFETY note above.
                 unsafe { target.set_len(len) };
                 return;
             }

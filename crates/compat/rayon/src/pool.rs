@@ -90,6 +90,8 @@ impl Shared {
         if let Some(job) = self.injector.lock().expect("injector poisoned").pop_front() {
             return Some(job);
         }
+        // ordering: Acquire pairs with the Release store in `ensure_workers`
+        // so the deques of every observed-live worker are initialized.
         let live = self.live_workers.load(Ordering::Acquire);
         let start = own.map_or(0, |i| i + 1);
         for off in 0..live {
@@ -130,13 +132,19 @@ impl Shared {
                     .lock()
                     .expect("injector poisoned")
                     .push_back(job);
+                // ordering: Relaxed — diagnostic counter, not synchronization.
                 self.injector_pushes.fetch_add(1, Ordering::Relaxed);
             }
         }
+        // ordering: SeqCst keeps this load in a single total order with the
+        // parking worker's SeqCst `sleepers` increment: either we observe the
+        // sleeper (and notify under the wake-gen lock), or the worker's
+        // register-then-recheck is ordered after our push and finds the job.
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let mut gen = self.wake_gen.lock().expect("wake gen poisoned");
             *gen += 1;
             drop(gen);
+            // ordering: Relaxed — diagnostic counter, not synchronization.
             self.wakeups.fetch_add(1, Ordering::Relaxed);
             self.wake.notify_one();
         }
@@ -149,7 +157,10 @@ impl Shared {
 pub(crate) fn dispatch_counters() -> (u64, u64) {
     let sh = shared();
     (
+        // ordering: Relaxed — diagnostics; tests assert deltas across quiesced
+        // regions, so no ordering with the counted events is needed.
         sh.injector_pushes.load(Ordering::Relaxed),
+        // ordering: Relaxed — same as above.
         sh.wakeups.load(Ordering::Relaxed),
     )
 }
@@ -211,11 +222,15 @@ pub(crate) fn effective_threads() -> usize {
 fn ensure_workers(target: usize) {
     let target = target.min(MAX_WORKERS);
     let sh = shared();
+    // ordering: Acquire pairs with the Release store below — observing a
+    // count also makes those workers' startup visible on the fast path.
     if sh.live_workers.load(Ordering::Acquire) >= target {
         return;
     }
     static SPAWN_LOCK: Mutex<()> = Mutex::new(());
     let _guard = SPAWN_LOCK.lock().expect("spawn lock poisoned");
+    // ordering: Acquire — re-read under the spawn lock; the lock serializes
+    // writers, the Acquire keeps the read consistent with lock-free readers.
     let live = sh.live_workers.load(Ordering::Acquire);
     for idx in live..target {
         let sh = Arc::clone(sh);
@@ -223,6 +238,8 @@ fn ensure_workers(target: usize) {
             .name(format!("pardp-rayon-{idx}"))
             .spawn(move || worker_loop(&sh, idx))
             .expect("failed to spawn pool worker");
+        // ordering: Release publishes the spawned worker (and its deque slot)
+        // to the Acquire loads in `find_job` and the fast path above.
         shared().live_workers.store(idx + 1, Ordering::Release);
     }
 }
@@ -241,9 +258,14 @@ fn worker_loop(sh: &Shared, idx: usize) {
         // generation counter closes the remaining race between the re-check
         // and the wait — if a submission slipped in between, the generation
         // no longer matches and we retry instead of sleeping.
+        // ordering: SeqCst — the register-then-recheck must not be reordered
+        // after the queue re-check, and must sit in one total order with the
+        // submitter's SeqCst `sleepers` load in `push_job` (see there).
         sh.sleepers.fetch_add(1, Ordering::SeqCst);
         let gen = *sh.wake_gen.lock().expect("wake gen poisoned");
         if let Some(job) = sh.find_job(Some(idx)) {
+            // ordering: SeqCst — symmetric with the increment above; a stale
+            // deregistration must not linger ahead of the next park attempt.
             sh.sleepers.fetch_sub(1, Ordering::SeqCst);
             job();
             continue;
@@ -252,6 +274,7 @@ fn worker_loop(sh: &Shared, idx: usize) {
         if *guard == gen {
             let _ = sh.wake.wait_timeout(guard, PARK_TIMEOUT);
         }
+        // ordering: SeqCst — symmetric with the increment above.
         sh.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -274,10 +297,15 @@ impl Latch {
     }
 
     fn increment(&self) {
+        // ordering: AcqRel — increments join the same release sequence as the
+        // decrements so `done` observes a consistent count.
         self.pending.fetch_add(1, Ordering::AcqRel);
     }
 
     fn count_down(&self) {
+        // ordering: AcqRel — the Release publishes the finished job's writes;
+        // the Acquire on the final decrement makes every earlier job's writes
+        // visible to the thread that sees the latch reach zero.
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _guard = self.mutex.lock().expect("latch poisoned");
             self.cond.notify_all();
@@ -285,6 +313,8 @@ impl Latch {
     }
 
     fn done(&self) -> bool {
+        // ordering: Acquire pairs with the AcqRel decrements — once zero is
+        // observed, all completed jobs' side effects are visible.
         self.pending.load(Ordering::Acquire) == 0
     }
 
@@ -503,6 +533,143 @@ mod tests {
         }
         batch.wait();
         assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    /// Bounded-interleaving model check of the work-stealing deque protocol.
+    ///
+    /// Two logical workers share a fresh [`Shared`]: worker 0 owns deque 0
+    /// (pushes and LIFO-pops it), worker 1 is a pure thief (FIFO-steals).
+    /// Every interleaving of a fixed owner schedule (3 pushes, 3 pops) with a
+    /// fixed thief schedule (3 steals) is executed serially at operation
+    /// granularity, and each schedule is checked against a reference deque
+    /// model: no job may be lost, duplicated, or run twice, owner pops must
+    /// see the newest remaining job and steals the oldest.
+    #[test]
+    fn deque_schedules_never_lose_or_duplicate_jobs() {
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        enum Op {
+            Push,
+            Pop,
+            Steal,
+        }
+
+        fn fresh_shared(workers: usize) -> Shared {
+            Shared {
+                injector: Mutex::new(VecDeque::new()),
+                deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+                live_workers: AtomicUsize::new(workers),
+                sleepers: AtomicUsize::new(0),
+                wake_gen: Mutex::new(0),
+                wake: Condvar::new(),
+                injector_pushes: AtomicU64::new(0),
+                wakeups: AtomicU64::new(0),
+            }
+        }
+
+        // All C(6+3, 3) = 84 merges of the two per-worker schedules.
+        fn schedules(owner: &[Op], thief: &[Op]) -> Vec<Vec<Op>> {
+            fn go(owner: &[Op], thief: &[Op], acc: &mut Vec<Op>, out: &mut Vec<Vec<Op>>) {
+                match (owner.split_first(), thief.split_first()) {
+                    (None, None) => out.push(acc.clone()),
+                    (o, t) => {
+                        if let Some((&op, rest)) = o {
+                            acc.push(op);
+                            go(rest, thief, acc, out);
+                            acc.pop();
+                        }
+                        if let Some((&op, rest)) = t {
+                            acc.push(op);
+                            go(owner, rest, acc, out);
+                            acc.pop();
+                        }
+                    }
+                }
+            }
+            let mut out = Vec::new();
+            go(owner, thief, &mut Vec::new(), &mut out);
+            out
+        }
+
+        let owner = [Op::Push, Op::Push, Op::Push, Op::Pop, Op::Pop, Op::Pop];
+        let thief = [Op::Steal, Op::Steal, Op::Steal];
+        let all = schedules(&owner, &thief);
+        assert_eq!(all.len(), 84);
+
+        for schedule in all {
+            let sh = fresh_shared(2);
+            let executed: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+            let mut model: VecDeque<usize> = VecDeque::new();
+            let mut next_id = 0usize;
+            let mut pushed = 0usize;
+
+            for &op in &schedule {
+                match op {
+                    Op::Push => {
+                        let id = next_id;
+                        next_id += 1;
+                        pushed += 1;
+                        let executed = Arc::clone(&executed);
+                        sh.deques[0]
+                            .lock()
+                            .unwrap()
+                            .push_back(Box::new(move || executed.lock().unwrap().push(id)));
+                        model.push_back(id);
+                    }
+                    Op::Pop => {
+                        let got = sh.find_job(Some(0));
+                        let want = model.pop_back();
+                        match (got, want) {
+                            (Some(job), Some(id)) => {
+                                job();
+                                assert_eq!(
+                                    executed.lock().unwrap().last(),
+                                    Some(&id),
+                                    "owner pop must be LIFO in {schedule:?}"
+                                );
+                            }
+                            (None, None) => {}
+                            (got, want) => panic!(
+                                "pop mismatch in {schedule:?}: got {} want {want:?}",
+                                got.is_some()
+                            ),
+                        }
+                    }
+                    Op::Steal => {
+                        let got = sh.find_job(Some(1));
+                        let want = model.pop_front();
+                        match (got, want) {
+                            (Some(job), Some(id)) => {
+                                job();
+                                assert_eq!(
+                                    executed.lock().unwrap().last(),
+                                    Some(&id),
+                                    "steal must be FIFO in {schedule:?}"
+                                );
+                            }
+                            (None, None) => {}
+                            (got, want) => panic!(
+                                "steal mismatch in {schedule:?}: got {} want {want:?}",
+                                got.is_some()
+                            ),
+                        }
+                    }
+                }
+            }
+
+            // Drain the leftovers; executed plus remaining must cover every
+            // pushed job exactly once.
+            while let Some(job) = sh.find_job(Some(0)) {
+                let id = model.pop_back().expect("pool has a job the model lacks");
+                job();
+                assert_eq!(executed.lock().unwrap().last(), Some(&id));
+            }
+            assert!(model.is_empty(), "model has jobs the pool lost: {model:?}");
+            let mut done = executed.lock().unwrap().clone();
+            assert_eq!(done.len(), pushed, "every pushed job ran in {schedule:?}");
+            done.sort_unstable();
+            done.dedup();
+            assert_eq!(done.len(), pushed, "a job ran twice in {schedule:?}");
+        }
     }
 
     #[test]

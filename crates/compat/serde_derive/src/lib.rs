@@ -3,6 +3,8 @@
 //! compile to nothing: the workspace only uses the derives as annotations on
 //! report rows, and all actual serialization is hand-written formatting.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts and discards a `#[derive(Serialize)]` invocation.

@@ -1397,6 +1397,8 @@ where
 {
     match try_reconstruct_gap_ops(inst, d) {
         Ok(ops) => ops,
+        // analyze: allow(no-panics): documented panicking facade over the
+        // typed `try_reconstruct_gap_ops` (see the function docs).
         Err(e) => panic!("{e}"),
     }
 }

@@ -48,12 +48,25 @@ impl BestDecisionArray {
     /// coverage).  Adjacent intervals with the same decision are merged, which
     /// is the "merge adjacent intervals" step of `UpdateBest` (Alg. 1 line 22).
     pub fn from_intervals(intervals: impl IntoIterator<Item = (usize, usize, usize)>) -> Self {
-        let mut triples: Vec<DecisionInterval> = Vec::new();
+        let mut b = BestDecisionArray::empty();
+        b.rebuild_from_intervals(intervals);
+        b
+    }
+
+    /// In-place [`BestDecisionArray::from_intervals`]: clears the array and
+    /// refills it, reusing the existing triple storage.  This is the per-round
+    /// rebuild path of the convex/concave engines, which keeps the round loop
+    /// free of heap allocation once the array has reached its high-water mark.
+    pub fn rebuild_from_intervals(
+        &mut self,
+        intervals: impl IntoIterator<Item = (usize, usize, usize)>,
+    ) {
+        self.triples.clear();
         for (l, r, j) in intervals {
             if l > r {
                 continue;
             }
-            if let Some(last) = triples.last_mut() {
+            if let Some(last) = self.triples.last_mut() {
                 debug_assert!(
                     last.r + 1 == l,
                     "intervals must be contiguous: previous ends at {}, next starts at {}",
@@ -65,9 +78,8 @@ impl BestDecisionArray {
                     continue;
                 }
             }
-            triples.push(DecisionInterval { l, r, j });
+            self.triples.push(DecisionInterval { l, r, j });
         }
-        BestDecisionArray { triples }
     }
 
     /// The triples in increasing position order.
@@ -119,10 +131,7 @@ impl BestDecisionArray {
         lo_bound: usize,
         pred: &mut impl FnMut(usize, usize) -> bool,
     ) -> Option<usize> {
-        if self.triples.is_empty() {
-            return None;
-        }
-        let (_, hi) = self.coverage().unwrap();
+        let (_, hi) = self.coverage()?;
         if lo_bound > hi {
             return None;
         }
@@ -176,10 +185,7 @@ impl BestDecisionArray {
         hi_bound: usize,
         pred: &mut impl FnMut(usize, usize) -> bool,
     ) -> Option<usize> {
-        if self.triples.is_empty() {
-            return None;
-        }
-        let (lo_cov, _) = self.coverage().unwrap();
+        let (lo_cov, _) = self.coverage()?;
         if hi_bound < lo_cov {
             return None;
         }
@@ -357,6 +363,15 @@ mod tests {
         let joined = left.concat(right);
         assert_eq!(joined.triples().len(), 1);
         assert_eq!(joined.coverage(), Some((1, 4)));
+    }
+
+    #[test]
+    fn rebuild_matches_from_intervals() {
+        let mut b = BestDecisionArray::from_intervals(vec![(1, 4, 0), (5, 8, 2)]);
+        b.rebuild_from_intervals(vec![(2, 3, 7), (4, 6, 7)]);
+        assert_eq!(b, BestDecisionArray::from_intervals(vec![(2, 6, 7)]));
+        b.rebuild_from_intervals(std::iter::empty());
+        assert!(b.is_empty());
     }
 
     #[test]

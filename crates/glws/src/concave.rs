@@ -71,6 +71,9 @@ pub struct ConcaveGlwsCordon<'a, P: GlwsProblem> {
     d: Vec<i64>,
     best: Vec<usize>,
     b: BestDecisionArray,
+    /// Per-round scratch for the `FindIntervals` output, reused across rounds
+    /// so the round body allocates nothing at its high-water mark.
+    intervals: Vec<(usize, usize, usize)>,
     now: usize,
     n: usize,
 }
@@ -87,6 +90,7 @@ impl<'a, P: GlwsProblem> ConcaveGlwsCordon<'a, P> {
             d,
             best: vec![0usize; n + 1],
             b: BestDecisionArray::initial(n),
+            intervals: Vec::new(),
             now: 0,
             n,
         }
@@ -153,7 +157,7 @@ impl<P: GlwsProblem> PhaseParallel for ConcaveGlwsCordon<'_, P> {
 
         if cordon <= n {
             // Build B_new: best decisions among the new frontier, for [cordon, n].
-            let mut intervals = Vec::new();
+            self.intervals.clear();
             find_intervals_concave(
                 problem,
                 &self.d,
@@ -161,17 +165,18 @@ impl<P: GlwsProblem> PhaseParallel for ConcaveGlwsCordon<'_, P> {
                 cordon - 1,
                 cordon,
                 n,
-                &mut intervals,
+                &mut self.intervals,
                 metrics,
             );
-            let b_new = BestDecisionArray::from_intervals(intervals);
+            let mut b_new = BestDecisionArray::empty();
+            b_new.rebuild_from_intervals(self.intervals.drain(..));
             let mut b_old = std::mem::take(&mut self.b);
             b_old.clip_front(cordon);
             self.b = merge_new_old(
                 problem, &self.d, b_new, b_old, cordon, n, self.merge, metrics,
             );
         } else {
-            self.b = BestDecisionArray::empty();
+            self.b.rebuild_from_intervals(std::iter::empty());
         }
         self.now = cordon - 1;
         frontier

@@ -70,6 +70,9 @@ pub struct ConvexGlwsCordon<'a, P: GlwsProblem> {
     d: Vec<i64>,
     best: Vec<usize>,
     b: BestDecisionArray,
+    /// Per-round scratch for the `FindIntervals` output, reused across rounds
+    /// so the round body allocates nothing at its high-water mark.
+    intervals: Vec<(usize, usize, usize)>,
     now: usize,
     n: usize,
 }
@@ -85,6 +88,7 @@ impl<'a, P: GlwsProblem> ConvexGlwsCordon<'a, P> {
             d,
             best: vec![0usize; n + 1],
             b: BestDecisionArray::initial(n),
+            intervals: Vec::new(),
             now: 0,
             n,
         }
@@ -161,7 +165,7 @@ impl<P: GlwsProblem> PhaseParallel for ConvexGlwsCordon<'_, P> {
         // the old array is discarded wholesale.
         // ------------------------------------------------------------------
         if cordon <= n {
-            let mut intervals = Vec::new();
+            self.intervals.clear();
             find_intervals(
                 problem,
                 &self.d,
@@ -169,12 +173,12 @@ impl<P: GlwsProblem> PhaseParallel for ConvexGlwsCordon<'_, P> {
                 cordon - 1,
                 cordon,
                 n,
-                &mut intervals,
+                &mut self.intervals,
                 metrics,
             );
-            self.b = BestDecisionArray::from_intervals(intervals);
+            self.b.rebuild_from_intervals(self.intervals.drain(..));
         } else {
-            self.b = BestDecisionArray::empty();
+            self.b.rebuild_from_intervals(std::iter::empty());
         }
         self.now = cordon - 1;
         frontier
@@ -267,6 +271,9 @@ pub(crate) fn argmin_decision<P: GlwsProblem>(
             .map(|j| (problem.e(d[j], j) + problem.w(j, i), j))
             .reduce_with(|a, b| if b < a { b } else { a })
             .map(|(_, j)| j)
+            // analyze: allow(no-panics): the range is non-empty (width >=
+            // 2048 on this branch), so the reduction always yields a value —
+            // a silent fallback here would corrupt the argmin.
             .unwrap()
     }
 }

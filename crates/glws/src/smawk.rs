@@ -51,6 +51,8 @@ fn smawk_inner(
                 break;
             }
             let r = rows[stack.len() - 1];
+            // analyze: allow(no-panics): non-empty — the `is_empty` arm above
+            // pushed and broke out.
             let top = *stack.last().unwrap();
             // Prefer the earlier column on ties (strict > keeps `top`).
             if f(r, top) > f(r, c) {
@@ -76,6 +78,8 @@ fn smawk_inner(
         let upper = if pos + 1 < rows.len() {
             result[rows[pos + 1]]
         } else {
+            // analyze: allow(no-panics): `cols` is non-empty — SMAWK recurses
+            // only on non-empty row/column sets.
             *cols.last().unwrap()
         };
         let mut best_col = cols[col_idx];

@@ -37,9 +37,11 @@ pub struct ObstResult {
 
 fn prefix_sums(weights: &[u64]) -> Vec<u64> {
     let mut p = Vec::with_capacity(weights.len() + 1);
-    p.push(0);
+    let mut acc = 0u64;
+    p.push(acc);
     for &w in weights {
-        p.push(p.last().unwrap() + w);
+        acc += w;
+        p.push(acc);
     }
     p
 }

@@ -17,8 +17,11 @@
 //! `frontier_sizes` consistent by construction for every parallel algorithm.
 //! Sequential and naive baselines use the fine-grained `add_*` methods.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+// analyze: allow(raw-parallelism): the frontier log needs interior mutability
+// behind `&self`; it is touched once per round by the driver, never inside
+// parallel loops, so a Mutex here cannot serialize worker threads.
+use std::sync::{Mutex, PoisonError};
 
 /// Immutable snapshot of the counters collected during one algorithm run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -92,6 +95,28 @@ impl Metrics {
 /// The scalar counters are relaxed atomics: they are statistics, not
 /// synchronization.  The per-round frontier log is mutex-guarded, but it is
 /// only touched once per round (by the driver), never inside parallel loops.
+///
+/// # Snapshot consistency
+///
+/// The counters are independent atomics, so a [`MetricsCollector::snapshot`]
+/// taken while updates are in flight can observe a *torn* mix — e.g. a round
+/// counted in `rounds` whose frontier has not been pushed yet.  Two regimes:
+///
+/// * **Round-grained updates** ([`MetricsCollector::record_round`], the
+///   phase-parallel driver's path): `record_round` brackets its three updates
+///   with a `round_epoch` seqlock, and `snapshot` retries until it reads a
+///   stable even epoch.  A snapshot therefore always sits on a round boundary:
+///   `rounds == frontier_sizes.len()` and `states_finalized` equals the sum of
+///   the frontier log (when only `record_round` is used).
+/// * **Fine-grained updates** (the `add_*` methods used by sequential
+///   baselines): individually atomic but not mutually consistent; a concurrent
+///   snapshot may see some of a batch of related `add_*` calls and not others.
+///   Callers that need exact totals must snapshot after the run quiesces —
+///   which is what every harness in this workspace does.
+///
+/// `record_round` assumes a single writer (the driver); concurrent
+/// `record_round` calls would interleave epoch brackets and could livelock a
+/// snapshotter. The `add_*` methods are safe from any number of threads.
 #[derive(Debug, Default)]
 pub struct MetricsCollector {
     rounds: AtomicU64,
@@ -99,6 +124,11 @@ pub struct MetricsCollector {
     edges_relaxed: AtomicU64,
     wasted_states: AtomicU64,
     probes: AtomicU64,
+    /// Seqlock epoch for round-grained consistency: odd while `record_round`
+    /// is mid-update, even and stable otherwise.
+    round_epoch: AtomicU64,
+    // analyze: allow(raw-parallelism): see the module-level import note — the
+    // per-round log is driver-only, outside the parallel hot path.
     frontier_sizes: Mutex<Vec<u64>>,
 }
 
@@ -111,14 +141,26 @@ impl MetricsCollector {
     /// Record one cordon round that finalized `frontier` states.  This is the
     /// driver's entry point: it advances `rounds`, `states_finalized` and the
     /// frontier log together so they cannot drift apart.
+    ///
+    /// Single-writer: only the phase-parallel driver calls this, once per
+    /// round (see the type-level snapshot-consistency notes).
     #[inline]
     pub fn record_round(&self, frontier: u64) {
+        // ordering: Release — entering the odd (mid-update) epoch state must
+        // be visible to a snapshotter before any of the updates below are.
+        self.round_epoch.fetch_add(1, Ordering::Release);
+        // ordering: Relaxed — statistics; the epoch bracket (not these RMWs)
+        // provides the cross-counter consistency.
         self.rounds.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — same as above.
         self.states_finalized.fetch_add(frontier, Ordering::Relaxed);
         self.frontier_sizes
             .lock()
-            .expect("frontier log poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(frontier);
+        // ordering: Release publishes the three updates above before the
+        // even (stable) epoch value a snapshotter's Acquire load observes.
+        self.round_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Pre-size the frontier log for `rounds` upcoming rounds so that
@@ -128,7 +170,10 @@ impl MetricsCollector {
     /// million entries (8 MB) to keep pathological budgets harmless.
     pub fn reserve_rounds(&self, rounds: usize) {
         const RESERVE_CAP: usize = 1 << 20;
-        let mut log = self.frontier_sizes.lock().expect("frontier log poisoned");
+        let mut log = self
+            .frontier_sizes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let want = rounds.min(RESERVE_CAP);
         let have = log.capacity() - log.len();
         if want > have {
@@ -140,18 +185,22 @@ impl MetricsCollector {
     /// naive baselines that only track a round count).
     #[inline]
     pub fn add_round(&self) {
+        // ordering: Relaxed — lone statistic with no cross-counter invariant;
+        // totals are read after the run quiesces (see the snapshot notes).
         self.rounds.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record `n` finalized states.
     #[inline]
     pub fn add_states(&self, n: u64) {
+        // ordering: Relaxed — same as `add_round`.
         self.states_finalized.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record `n` evaluated transitions.
     #[inline]
     pub fn add_edges(&self, n: u64) {
+        // ordering: Relaxed — same as `add_round`.
         self.edges_relaxed.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -159,28 +208,55 @@ impl MetricsCollector {
     /// that round.
     #[inline]
     pub fn add_wasted(&self, n: u64) {
+        // ordering: Relaxed — same as `add_round`.
         self.wasted_states.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record `n` binary-search probes.
     #[inline]
     pub fn add_probes(&self, n: u64) {
+        // ordering: Relaxed — same as `add_round`.
         self.probes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Snapshot the current counter values.
+    ///
+    /// Retries while a [`MetricsCollector::record_round`] is mid-update, so
+    /// the returned [`Metrics`] always sits on a round boundary with respect
+    /// to the driver's round-grained accounting.  Concurrent `add_*` updates
+    /// are individually atomic but not mutually consistent — see the
+    /// type-level snapshot-consistency notes.
     pub fn snapshot(&self) -> Metrics {
-        Metrics {
-            rounds: self.rounds.load(Ordering::Relaxed),
-            states_finalized: self.states_finalized.load(Ordering::Relaxed),
-            edges_relaxed: self.edges_relaxed.load(Ordering::Relaxed),
-            wasted_states: self.wasted_states.load(Ordering::Relaxed),
-            probes: self.probes.load(Ordering::Relaxed),
-            frontier_sizes: self
-                .frontier_sizes
-                .lock()
-                .expect("frontier log poisoned")
-                .clone(),
+        loop {
+            // ordering: Acquire pairs with `record_round`'s closing Release —
+            // an even epoch observed here means that round's updates are
+            // visible to the loads below.
+            let before = self.round_epoch.load(Ordering::Acquire);
+            if before % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = Metrics {
+                // ordering: Relaxed (all five loads) — the epoch bracket,
+                // not the individual loads, carries the consistency.
+                rounds: self.rounds.load(Ordering::Relaxed),
+                states_finalized: self.states_finalized.load(Ordering::Relaxed), // ordering: as above
+                edges_relaxed: self.edges_relaxed.load(Ordering::Relaxed), // ordering: as above
+                wasted_states: self.wasted_states.load(Ordering::Relaxed), // ordering: as above
+                probes: self.probes.load(Ordering::Relaxed),               // ordering: as above
+                frontier_sizes: self
+                    .frontier_sizes
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            };
+            // ordering: Acquire fence orders the counter loads above before
+            // the epoch re-read below (classic seqlock reader exit).
+            fence(Ordering::Acquire);
+            // ordering: Relaxed — the fence above already orders this load.
+            if self.round_epoch.load(Ordering::Relaxed) == before {
+                return snap;
+            }
         }
     }
 }
@@ -250,6 +326,36 @@ mod tests {
             Metrics::default().frontier_percentiles(&[50.0, 99.0]),
             vec![0, 0]
         );
+    }
+
+    #[test]
+    fn snapshot_lands_on_round_boundaries() {
+        // One driver thread records rounds while snapshotters race it: every
+        // snapshot must sit on a round boundary — never a torn state where a
+        // round was counted but its frontier not yet logged (or vice versa).
+        let c = Arc::new(MetricsCollector::new());
+        rayon::scope(|s| {
+            let writer = Arc::clone(&c);
+            s.spawn(move |_| {
+                for i in 0..2000u64 {
+                    writer.record_round(i % 7);
+                }
+            });
+            for _ in 0..4 {
+                let reader = Arc::clone(&c);
+                s.spawn(move |_| {
+                    for _ in 0..500 {
+                        let m = reader.snapshot();
+                        assert_eq!(m.rounds as usize, m.frontier_sizes.len());
+                        assert_eq!(m.states_finalized, m.frontier_sizes.iter().sum::<u64>());
+                    }
+                });
+            }
+        });
+        let m = c.snapshot();
+        assert_eq!(m.rounds, 2000);
+        assert_eq!(m.frontier_sizes.len(), 2000);
+        assert_eq!(m.states_finalized, (0..2000u64).map(|i| i % 7).sum());
     }
 
     #[test]

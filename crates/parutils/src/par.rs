@@ -81,6 +81,9 @@ pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R 
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()
+        // analyze: allow(no-panics): the shim's builder is infallible and a
+        // real rayon build failure at startup has no useful recovery —
+        // deliberate fail-fast at harness setup, never on the hot path.
         .expect("failed to build rayon thread pool");
     pool.install(f)
 }

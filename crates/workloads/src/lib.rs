@@ -137,6 +137,8 @@ pub fn post_office_instance(n: usize, k: usize, seed: u64) -> PostOfficeInstance
     assert!(k >= 1 && k <= n, "need 1 <= k <= n");
     let mut r = rng(seed);
     let sizes = random_partition(n, k, &mut r);
+    // analyze: allow(no-panics): `random_partition(n, k)` returns exactly
+    // `k >= 1` sizes (asserted above), so the max exists.
     let max_cluster = *sizes.iter().max().unwrap();
     // Largest possible intra-cluster span (gap at most 2 per step).
     let max_span = 2 * max_cluster as i64;

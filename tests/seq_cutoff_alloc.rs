@@ -20,18 +20,29 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to `System` — every pointer/layout obligation is
+// forwarded unchanged, and the counter bump has no effect on allocator state.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; we forward
+    // `layout` to `System` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same `layout` the caller vouched for.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract (ptr from this
+    // allocator, matching layout); all three arguments forwarded unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` came from `System` via our `alloc`, layout unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract; forwarded
+    // unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `System` via our `alloc`, layout unchanged.
         unsafe { System.dealloc(ptr, layout) }
     }
 }
